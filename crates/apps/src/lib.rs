@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # fx-apps — the paper's applications
+//!
+//! Every program evaluated in *"A New Model for Integrated Nested Task
+//! and Data Parallel Programming"* (Subhlok & Yang, PPoPP '97), written
+//! against the Fx model (`fx-core` + `fx-darray`) and validated against
+//! sequential oracles:
+//!
+//! | Module | Paper reference | Task structure |
+//! |---|---|---|
+//! | [`ffthist`] | Figures 2, 3, 5; Table 1 | data-parallel pipeline, replication, hybrids |
+//! | [`radar`] | Table 1 (narrowband tracking radar) | replication |
+//! | [`stereo`] | Table 1 (multibaseline stereo) | replication, pipelines |
+//! | [`airshed`] | §5.2, Figure 6 | separated I/O tasks |
+//! | [`qsort`] | Figure 4 | dynamically nested partitions |
+//! | [`barnes_hut`] | §5.3, Figure 7 | nested partitions + worklists |
+//!
+//! All stream programs record `set start` / `set done` events, from which
+//! the benchmark harnesses compute the throughput and latency numbers the
+//! paper reports.
+
+pub mod airshed;
+pub mod barnes_hut;
+pub mod ffthist;
+pub mod multiblock;
+pub mod qsort;
+pub mod radar;
+pub mod stereo;
+pub mod util;

@@ -1,0 +1,120 @@
+//! Shared helpers for the applications: deterministic cheap input
+//! synthesis, event labels, and the replicated-modules skeleton.
+
+use fx_core::{Cx, Size};
+use fx_kernels::Complex;
+
+/// Event label marking the start of one data set's processing.
+pub const SET_START: &str = "set start";
+/// Event label marking the completion of one data set's processing.
+pub const SET_DONE: &str = "set done";
+
+/// Cheap deterministic hash → `[0, 1)` float. Used to synthesize input
+/// elements on demand (each processor generates exactly the elements it
+/// owns — no replicated generation work, mirroring a parallel sensor
+/// feed).
+#[inline]
+pub fn unit_hash(a: u64, b: u64, c: u64) -> f64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(c.wrapping_mul(0x1656_67B1_9E37_79F9));
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^= z >> 33;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Synthetic complex sample for dataset `d`, element `(r, c)`.
+#[inline]
+pub fn complex_input(d: usize, r: usize, c: usize) -> Complex {
+    Complex::new(
+        2.0 * unit_hash(d as u64, r as u64, c as u64) - 1.0,
+        2.0 * unit_hash(d as u64 ^ 0xABCD, r as u64, c as u64) - 1.0,
+    )
+}
+
+/// Synthetic real sample for dataset `d`, element `(r, c)`.
+#[inline]
+pub fn real_input(d: usize, r: usize, c: usize) -> f32 {
+    (255.0 * unit_hash(d as u64, r as u64, c as u64)) as f32
+}
+
+/// Replicated data parallelism (Figure 3's structure, generalized):
+/// divide the current group into `replicas` equal modules and run
+/// `f(cx, module_index)` on the module this processor belongs to.
+/// Returns this processor's module result.
+pub fn replicated_modules<R>(
+    cx: &mut Cx,
+    replicas: usize,
+    f: impl FnOnce(&mut Cx, usize) -> R,
+) -> R {
+    let p = cx.nprocs();
+    assert!(replicas >= 1, "need at least one module");
+    assert!(
+        p.is_multiple_of(replicas),
+        "replicas ({replicas}) must divide the group size ({p})"
+    );
+    let per = p / replicas;
+    let spec: Vec<(String, Size)> =
+        (0..replicas).map(|r| (format!("R{r}"), Size::Procs(per))).collect();
+    let spec_refs: Vec<(&str, Size)> = spec.iter().map(|(s, z)| (s.as_str(), *z)).collect();
+    let part = cx.task_partition(&spec_refs);
+    let mut f = Some(f);
+    let mut out = None;
+    cx.task_region(&part, |cx, tr| {
+        for r in 0..replicas {
+            let name = format!("R{r}");
+            if let Some(res) = tr.on(cx, &name, |cx| (f.take().expect("module runs once"))(cx, r))
+            {
+                out = Some(res);
+            }
+        }
+    });
+    out.expect("every processor belongs to exactly one module")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{spmd, Machine};
+
+    #[test]
+    fn replicated_modules_assigns_each_processor_once() {
+        let rep = spmd(&Machine::real(6), |cx| {
+            replicated_modules(cx, 3, |cx, module| {
+                assert_eq!(cx.nprocs(), 2);
+                (module, cx.id())
+            })
+        });
+        let got: Vec<(usize, usize)> = rep.results;
+        assert_eq!(got, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn modules_compute_independently() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            replicated_modules(cx, 2, |cx, module| {
+                cx.allreduce((module as u64 + 1) * 10, |a, b| a + b)
+            })
+        });
+        assert_eq!(rep.results, vec![20, 20, 40, 40]);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        for i in 0..1000u64 {
+            let v = unit_hash(i, i * 3, i * 7);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, unit_hash(i, i * 3, i * 7));
+        }
+    }
+
+    #[test]
+    fn inputs_vary_with_all_arguments() {
+        assert_ne!(complex_input(0, 1, 2), complex_input(1, 1, 2));
+        assert_ne!(complex_input(0, 1, 2), complex_input(0, 2, 2));
+        assert_ne!(complex_input(0, 1, 2), complex_input(0, 1, 3));
+        assert_ne!(real_input(0, 1, 2), real_input(3, 1, 2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests over the applications: quicksort sorts anything on any
+//! group size; FFT-Hist variants agree with the sequential oracle for
+//! arbitrary mappings; Barnes-Hut worklists resolve for any replication
+//! depth.
+
+use fx_apps::barnes_hut::{bh_forces, make_bodies, BhConfig};
+use fx_apps::ffthist::{fft_hist_segmented, reference_histogram, FftHistConfig};
+use fx_apps::qsort::qsort_global;
+use fx_core::{spmd, Machine};
+use fx_kernels::nbody::BhTree;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Quicksort sorts arbitrary keys on arbitrary processor counts.
+    #[test]
+    fn qsort_sorts_anything(
+        keys in proptest::collection::vec(-1000i64..1000, 0..400),
+        p in 1usize..7,
+    ) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let rep = spmd(&Machine::real(p), move |cx| qsort_global(cx, &keys));
+        for r in rep.results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    /// Every legal segmentation of the FFT-Hist chain produces the exact
+    /// sequential histograms.
+    #[test]
+    fn fft_hist_any_segmentation_matches_oracle(
+        seg_pattern in 0usize..4,
+        procs in proptest::collection::vec(1usize..4, 3),
+    ) {
+        let seg_of_stage = match seg_pattern {
+            0 => [0, 0, 0],
+            1 => [0, 0, 1],
+            2 => [0, 1, 1],
+            _ => [0, 1, 2],
+        };
+        let nseg = seg_of_stage[2] + 1;
+        let seg_procs: Vec<usize> = procs[..nseg].to_vec();
+        let total: usize = seg_procs.iter().sum();
+        let cfg = FftHistConfig { n: 16, datasets: 2, nbins: 8, max_mag: 64.0 };
+        let sp = seg_procs.clone();
+        let rep = spmd(&Machine::real(total), move |cx| {
+            fft_hist_segmented(cx, &cfg, &[0, 1], seg_of_stage, &sp)
+        });
+        // The last segment's members hold the results.
+        let holders: Vec<&Vec<Vec<u64>>> =
+            rep.results.iter().filter(|r| !r.is_empty()).collect();
+        prop_assert_eq!(holders.len(), *seg_procs.last().unwrap());
+        for h in holders {
+            prop_assert_eq!(h.len(), 2);
+            for (d, hist) in h.iter().enumerate() {
+                prop_assert_eq!(hist, &reference_histogram(&cfg, d), "dataset {}", d);
+            }
+        }
+    }
+
+    /// The Barnes-Hut worklist protocol resolves every particle for any
+    /// replication depth k and processor count, matching sequential BH.
+    #[test]
+    fn barnes_hut_resolves_for_any_k(
+        k in 0usize..6,
+        p in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let n = 64;
+        let bodies = make_bodies(n, seed);
+        let cfg = BhConfig { n, theta: 0.5, eps: 1e-3, k };
+        let rep = spmd(&Machine::real(p), move |cx| bh_forces(cx, &bodies, &cfg));
+        let tree = BhTree::build(make_bodies(n, seed));
+        for (i, b) in tree.bodies.iter().enumerate() {
+            let seq = tree.force_at(b.pos, cfg.theta, cfg.eps).unwrap();
+            let got = rep.results[0][tree.order[i]];
+            for d in 0..3 {
+                prop_assert!(
+                    (got[d] - seq[d]).abs() < 1e-9,
+                    "particle {} axis {}: {} vs {}", i, d, got[d], seq[d]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the full applications (host-side wall time of
+//! simulating each program end to end at small scale). Tracks regressions
+//! in the whole stack: runtime, task model, distributed arrays, kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_apps::barnes_hut::{bh_forces, make_bodies, BhConfig};
+use fx_apps::ffthist::{fft_hist_dp, fft_hist_pipeline, FftHistConfig};
+use fx_apps::qsort::qsort_global;
+use fx_apps::radar::{radar_dp, RadarConfig};
+use fx_core::{spmd, Machine};
+
+const P: usize = 4;
+
+fn bench_fft_hist(c: &mut Criterion) {
+    let cfg = FftHistConfig::new(64, 2);
+    c.bench_function("fft_hist_dp_64px_2sets_4procs", |b| {
+        b.iter(|| spmd(&Machine::real(P), |cx| fft_hist_dp(cx, &cfg)))
+    });
+    let cfg_pipe = FftHistConfig::new(64, 4);
+    c.bench_function("fft_hist_pipeline_64px_4sets_4procs", |b| {
+        b.iter(|| spmd(&Machine::real(P), |cx| fft_hist_pipeline(cx, &cfg_pipe, [1, 2, 1])))
+    });
+}
+
+fn bench_radar(c: &mut Criterion) {
+    let cfg = RadarConfig { ranges: 128, pulses: 8, datasets: 4, gain: 0.25, threshold: 0.6 };
+    c.bench_function("radar_dp_128x8_4sets_4procs", |b| {
+        b.iter(|| spmd(&Machine::real(P), |cx| radar_dp(cx, &cfg)))
+    });
+}
+
+fn bench_qsort(c: &mut Criterion) {
+    let keys: Vec<i64> = (0..20_000).map(|i: i64| i.wrapping_mul(2654435761) % 100_000).collect();
+    c.bench_function("qsort_20k_4procs", |b| {
+        b.iter(|| {
+            let keys = keys.clone();
+            spmd(&Machine::real(P), move |cx| qsort_global(cx, &keys))
+        })
+    });
+}
+
+fn bench_barnes_hut(c: &mut Criterion) {
+    let bodies = make_bodies(512, 7);
+    let cfg = BhConfig::new(512);
+    c.bench_function("barnes_hut_512bodies_4procs", |b| {
+        b.iter(|| {
+            let bodies = bodies.clone();
+            spmd(&Machine::real(P), move |cx| bh_forces(cx, &bodies, &cfg))
+        })
+    });
+}
+
+fn tuned() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_fft_hist, bench_radar, bench_qsort, bench_barnes_hut
+}
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! # fx-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//!
+//! * `table1`   — Table 1: data-parallel vs best task+data-parallel
+//!   throughput/latency on 64 simulated Paragon nodes;
+//! * `fig5_mappings` — Figure 5: latency-optimal FFT-Hist mappings under
+//!   increasing throughput constraints;
+//! * `fig6_airshed`  — Figure 6: Airshed speedup, DP vs task+data;
+//! * `ablations`     — §4 implementation claims (minimal processor
+//!   subsets, replicated scalars, exact communication sets).
+//!
+//! This library holds the shared measurement plumbing: running a stream
+//! program on the simulated machine and extracting throughput/latency,
+//! measuring per-stage cost profiles, and executing a mapping produced by
+//! `fx-mapping`.
+
+use fx_apps::ffthist::{
+    cffts_local, fft_hist_dp_sets, fft_hist_segmented, fill_input, hist_local, rffts_local,
+    FftHistConfig,
+};
+use fx_apps::util::{replicated_modules, SET_DONE, SET_START};
+use fx_core::{spmd, Cx, Machine, MachineModel};
+use fx_darray::{assign2, DArray2, Dist};
+use fx_kernels::Complex;
+use fx_mapping::{Boundary, ChainModel, Mapping, NetParams, StageProfile};
+
+/// The simulated 1996 Paragon the paper's numbers were measured on.
+pub fn paragon(p: usize) -> Machine {
+    Machine::simulated(p, MachineModel::paragon())
+}
+
+/// Throughput/latency of one stream run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Steady-state data sets per second.
+    pub throughput: f64,
+    /// Mean seconds from `set start` to `set done`.
+    pub latency: f64,
+    /// Completion time of the whole run.
+    pub makespan: f64,
+}
+
+/// Run `f` on `p` simulated processors and measure the `set start` /
+/// `set done` stream, skipping the first `skip` completions (pipeline
+/// fill).
+pub fn measure_stream<F>(p: usize, skip: usize, f: F) -> StreamStats
+where
+    F: Fn(&mut Cx) + Send + Sync,
+{
+    let rep = spmd(&paragon(p), |cx| f(cx));
+    StreamStats {
+        throughput: rep.throughput(SET_DONE, skip),
+        latency: rep.latency(SET_START, SET_DONE),
+        makespan: rep.makespan(),
+    }
+}
+
+/// Measure the FFT-Hist stage cost profiles `T_i(p)` on the simulator:
+/// one probe run per processor count, stages separated by barriers so
+/// each stage's time is attributed cleanly. Returns the chain model the
+/// mapping optimizer consumes.
+pub fn fft_hist_chain_model(cfg: &FftHistConfig, p_values: &[usize]) -> ChainModel {
+    let mut samples: [Vec<(usize, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &p in p_values {
+        let rep = spmd(&paragon(p), |cx| {
+            let g = cx.group();
+            let n = cfg.n;
+            let mut a1 =
+                DArray2::new(cx, &g, [n, n], (Dist::Star, Dist::Block), Complex::ZERO);
+            let mut a2 =
+                DArray2::new(cx, &g, [n, n], (Dist::Block, Dist::Star), Complex::ZERO);
+            // Calibrate the barrier cost so it can be subtracted from the
+            // stage attributions.
+            cx.barrier();
+            let tb0 = cx.now();
+            cx.barrier();
+            let tb = cx.now() - tb0;
+            let t0 = cx.now();
+            fill_input(cx, &mut a1, 0);
+            cffts_local(cx, &mut a1);
+            cx.barrier();
+            let t1 = cx.now();
+            assign2(cx, &mut a2, &a1);
+            cx.barrier();
+            let t2 = cx.now();
+            rffts_local(cx, &mut a2);
+            cx.barrier();
+            let t3 = cx.now();
+            let _ = hist_local(cx, &a2, cfg.nbins, cfg.max_mag);
+            cx.barrier();
+            let t4 = cx.now();
+            // The redistribution time t2-t1 is represented in the chain
+            // model by the boundary descriptor instead.
+            let clean = |dt: f64| (dt - tb).max(1e-9);
+            [clean(t1 - t0), clean(t2 - t1), clean(t3 - t2), clean(t4 - t3)]
+        });
+        let t = rep.results[0];
+        samples[0].push((p, t[0]));
+        samples[1].push((p, t[2]));
+        samples[2].push((p, t[3]));
+    }
+    let stages = vec![
+        StageProfile::from_samples("cffts", samples[0].clone()),
+        StageProfile::from_samples("rffts", samples[1].clone()),
+        StageProfile::from_samples("hist", samples[2].clone()),
+    ];
+    let volume = (cfg.n * cfg.n * std::mem::size_of::<Complex>()) as f64;
+    let boundaries = vec![
+        // cffts → rffts: the transpose — an all-to-all that happens even
+        // when the stages are fused onto one group.
+        Boundary { bytes: volume, all_to_all: true, fused_is_free: false },
+        // rffts → hist: same (BLOCK, *) distribution on both sides —
+        // aligned transfer, free when fused.
+        Boundary { bytes: volume, all_to_all: false, fused_is_free: true },
+    ];
+    ChainModel::new(stages, boundaries, NetParams::paragon())
+}
+
+/// Execute an `fx-mapping` mapping of FFT-Hist on the current group:
+/// `modules` replicas of the segmented chain, datasets dealt round-robin.
+/// Processors beyond `mapping.procs_used()` idle in a spare subgroup
+/// (the optimizer is allowed to leave processors unused).
+pub fn run_fft_hist_mapping(cx: &mut Cx, cfg: &FftHistConfig, mapping: &Mapping) {
+    let used = mapping.procs_used();
+    let total = cx.nprocs();
+    assert!(used <= total, "mapping uses {used} of {total} processors");
+    let seg_of_stage = seg_of_stage(mapping);
+    let seg_procs: Vec<usize> = mapping.segments.iter().map(|s| s.procs).collect();
+    let run = |cx: &mut Cx| {
+        replicated_modules(cx, mapping.modules, |cx, module| {
+            let my_sets: Vec<usize> =
+                (0..cfg.datasets).filter(|d| d % mapping.modules == module).collect();
+            fft_hist_segmented(cx, cfg, &my_sets, seg_of_stage, &seg_procs);
+        });
+    };
+    if used == total {
+        run(cx);
+    } else {
+        let part = cx.task_partition(&[
+            ("work", fx_core::Size::Procs(used)),
+            ("idle", fx_core::Size::Rest),
+        ]);
+        cx.task_region(&part, |cx, tr| {
+            tr.on(cx, "work", run);
+        });
+    }
+}
+
+/// Convert a chain mapping's segments into the stage→segment table the
+/// executable runner uses.
+fn seg_of_stage(mapping: &Mapping) -> [usize; 3] {
+    let mut out = [0usize; 3];
+    for (si, seg) in mapping.segments.iter().enumerate() {
+        for slot in &mut out[seg.first..=seg.last] {
+            *slot = si;
+        }
+    }
+    out
+}
+
+/// Run the pure data-parallel FFT-Hist stream (the Table 1 baseline).
+pub fn run_fft_hist_dp(cx: &mut Cx, cfg: &FftHistConfig) {
+    let sets: Vec<usize> = (0..cfg.datasets).collect();
+    fft_hist_dp_sets(cx, cfg, &sets);
+}
+
+/// A printed table row, paper-style.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let line: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_model_profiles_decrease_with_processors() {
+        // Large enough that stage compute dominates the inter-stage
+        // barriers the probe uses for attribution.
+        let cfg = FftHistConfig::new(128, 1);
+        let model = fft_hist_chain_model(&cfg, &[1, 2, 4]);
+        // The FFT stages are compute-bound and must scale; hist on a tiny
+        // image is reduction-latency-bound and may not (that is exactly
+        // the non-scalability the paper's mappings exploit).
+        for stage in &model.stages[..2] {
+            assert!(
+                stage.time(1) > stage.time(4),
+                "{} does not scale: {} vs {}",
+                stage.name,
+                stage.time(1),
+                stage.time(4)
+            );
+        }
+        assert!(model.stages.iter().all(|s| s.time(1) > 0.0));
+        assert_eq!(model.boundaries.len(), 2);
+        assert!(model.boundaries[0].all_to_all && !model.boundaries[0].fused_is_free);
+        assert!(model.boundaries[1].fused_is_free);
+    }
+
+    #[test]
+    fn measure_stream_reports_sane_numbers() {
+        let cfg = FftHistConfig::new(16, 4);
+        let stats = measure_stream(2, 1, |cx| run_fft_hist_dp(cx, &cfg));
+        assert!(stats.throughput > 0.0);
+        assert!(stats.latency > 0.0);
+        assert!(stats.makespan >= stats.latency);
+    }
+
+    #[test]
+    fn mapping_execution_handles_idle_processors() {
+        use fx_mapping::Segment;
+        let cfg = FftHistConfig::new(16, 4);
+        let mapping = Mapping {
+            modules: 1,
+            segments: vec![Segment { first: 0, last: 2, procs: 3 }],
+        };
+        // 5 processors, 3 used, 2 idle.
+        let rep = spmd(&paragon(5), |cx| run_fft_hist_mapping(cx, &cfg, &mapping));
+        assert_eq!(rep.results.len(), 5);
+        assert_eq!(rep.events_named(SET_DONE).len(), 4);
+    }
+
+    #[test]
+    fn pipelined_mapping_executes() {
+        use fx_mapping::Segment;
+        let cfg = FftHistConfig::new(16, 6);
+        let mapping = Mapping {
+            modules: 2,
+            segments: vec![
+                Segment { first: 0, last: 1, procs: 2 },
+                Segment { first: 2, last: 2, procs: 1 },
+            ],
+        };
+        let rep = spmd(&paragon(6), |cx| run_fft_hist_mapping(cx, &cfg, &mapping));
+        assert_eq!(rep.events_named(SET_DONE).len(), 6);
+    }
+}

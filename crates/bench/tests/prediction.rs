@@ -1,0 +1,72 @@
+//! Regression tests for the optimizer's predictive power: the chain
+//! model's predicted throughput/latency must track the simulator within
+//! a modest factor for representative mappings. (The Figure 5 harness
+//! showed ≤ 5% error for the data-parallel and pipelined points; these
+//! tests pin a looser bound so refactors cannot silently decouple the
+//! model from the machine.)
+
+use fx_apps::ffthist::FftHistConfig;
+use fx_bench::{fft_hist_chain_model, measure_stream, run_fft_hist_mapping};
+use fx_mapping::{evaluate, Mapping, Segment};
+
+const P: usize = 8;
+const N: usize = 64;
+
+fn check(mapping: Mapping, thr_tol: f64, lat_tol: f64) {
+    let model = fft_hist_chain_model(&FftHistConfig::new(N, 1), &[1, 2, 4, 8]);
+    let pred = evaluate(&model, &mapping);
+    let cfg = FftHistConfig::new(N, (6 * mapping.modules).max(12));
+    let meas = measure_stream(P, 2 * mapping.modules, |cx| {
+        run_fft_hist_mapping(cx, &cfg, &mapping)
+    });
+    let thr_ratio = meas.throughput / pred.throughput;
+    let lat_ratio = meas.latency / pred.latency;
+    assert!(
+        (1.0 / thr_tol..=thr_tol).contains(&thr_ratio),
+        "throughput prediction off: predicted {:.2}, measured {:.2} (ratio {thr_ratio:.2})",
+        pred.throughput,
+        meas.throughput
+    );
+    assert!(
+        (1.0 / lat_tol..=lat_tol).contains(&lat_ratio),
+        "latency prediction off: predicted {:.4}, measured {:.4} (ratio {lat_ratio:.2})",
+        pred.latency,
+        meas.latency
+    );
+}
+
+#[test]
+fn data_parallel_prediction_tracks_simulation() {
+    check(
+        Mapping { modules: 1, segments: vec![Segment { first: 0, last: 2, procs: P }] },
+        1.3,
+        1.3,
+    );
+}
+
+#[test]
+fn pipeline_prediction_tracks_simulation() {
+    check(
+        Mapping {
+            modules: 1,
+            segments: vec![
+                Segment { first: 0, last: 1, procs: 5 },
+                Segment { first: 2, last: 2, procs: 3 },
+            ],
+        },
+        1.5,
+        1.5,
+    );
+}
+
+#[test]
+fn replicated_prediction_tracks_simulation() {
+    // Replication predictions are conservative (direct-deposit overlap
+    // between consecutive data sets is unmodeled), so allow more slack
+    // on the high side.
+    check(
+        Mapping { modules: 2, segments: vec![Segment { first: 0, last: 2, procs: 4 }] },
+        1.8,
+        1.5,
+    );
+}

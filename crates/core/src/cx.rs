@@ -1,0 +1,324 @@
+//! The task/data-parallel execution context.
+//!
+//! [`Cx`] wraps a physical processor's [`fx_runtime::ProcCtx`] with the
+//! paper's execution model: a stack of processor groups (virtual→physical
+//! mappings), group-relative communication, and the sequence counters from
+//! which collective message tags are derived.
+
+use std::sync::Arc;
+
+use fx_runtime::{Machine, Payload, ProcCtx, RunReport, TimeMode};
+
+use crate::group::{Frame, GroupHandle};
+use crate::hash::{mix2, mix3, WORLD_GID};
+
+/// Salt separating user point-to-point tags from collective tags.
+const USER_SALT: u64 = 0xFACE_0FF0;
+
+/// Per-processor context carrying the group mapping stack.
+///
+/// All Fx-model operations go through this type: group queries
+/// (`nprocs()`, `id()` — the paper's `NUMBER_OF_PROCESSORS()` and local
+/// index), group-relative messaging, collectives (see `coll` module), task
+/// partitions and task regions.
+pub struct Cx<'a> {
+    rt: &'a mut ProcCtx,
+    stack: Vec<Frame>,
+}
+
+impl<'a> Cx<'a> {
+    pub(crate) fn new(rt: &'a mut ProcCtx) -> Self {
+        let n = rt.nprocs();
+        let world = GroupHandle::new(WORLD_GID, Arc::new((0..n).collect()));
+        let vrank = rt.rank();
+        Cx { rt, stack: vec![Frame::new(world, vrank)] }
+    }
+
+    // ----- identity ------------------------------------------------------
+
+    /// Number of processors in the *current* group — the paper's
+    /// `NUMBER_OF_PROCESSORS()`. Shrinks inside `ON SUBGROUP` blocks.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.top().handle.len()
+    }
+
+    /// This processor's virtual rank within the current group.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.top().vrank
+    }
+
+    /// Handle of the current group (for attaching distributed data).
+    pub fn group(&self) -> GroupHandle {
+        self.top().handle.clone()
+    }
+
+    /// Physical rank in the whole machine.
+    #[inline]
+    pub fn phys_rank(&self) -> usize {
+        self.rt.rank()
+    }
+
+    /// Total processors in the whole machine.
+    #[inline]
+    pub fn world_nprocs(&self) -> usize {
+        self.rt.nprocs()
+    }
+
+    /// Depth of group nesting (1 = whole machine only).
+    pub fn nesting_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    // ----- time & tracing (delegated to the runtime) ----------------------
+
+    /// Current time (virtual seconds when simulating).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.rt.now()
+    }
+
+    /// Charge local floating-point work to the virtual clock.
+    #[inline]
+    pub fn charge_flops(&mut self, n: f64) {
+        self.rt.charge_flops(n);
+    }
+
+    /// Charge local memory traffic to the virtual clock.
+    #[inline]
+    pub fn charge_mem_bytes(&mut self, n: f64) {
+        self.rt.charge_mem_bytes(n);
+    }
+
+    /// Charge raw seconds (modeled I/O, etc.) to the virtual clock.
+    #[inline]
+    pub fn charge_seconds(&mut self, s: f64) {
+        self.rt.charge_seconds(s);
+    }
+
+    /// Mark an event on this processor's trace.
+    pub fn record(&mut self, label: impl Into<String>) {
+        self.rt.record(label);
+    }
+
+    /// The machine's time mode.
+    pub fn time_mode(&self) -> TimeMode {
+        self.rt.time_mode()
+    }
+
+    // ----- group-relative messaging ---------------------------------------
+
+    /// Send `value` to virtual processor `dst` of the current group on user
+    /// channel `tag`. Tags are namespaced per group, so identical user tags
+    /// in different (even nested) groups never collide.
+    pub fn send_v<T: Payload>(&mut self, dst: usize, tag: u64, value: T) {
+        let (phys, wire) = {
+            let f = self.top();
+            (f.handle.phys(dst), mix3(f.handle.gid(), USER_SALT, tag))
+        };
+        self.rt.send(phys, wire, value);
+    }
+
+    /// Receive from virtual processor `src` of the current group on user
+    /// channel `tag`.
+    pub fn recv_v<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        let (phys, wire) = {
+            let f = self.top();
+            (f.handle.phys(src), mix3(f.handle.gid(), USER_SALT, tag))
+        };
+        self.rt.recv(phys, wire)
+    }
+
+    /// Allocate the next operation tag of the current group, advancing the
+    /// group's sequence counter.
+    ///
+    /// **SPMD invariant**: every member of the current group must call this
+    /// for the same operation, *even members that will skip the operation's
+    /// communication* (the minimal-processor-subset rule lets them skip the
+    /// synchronization, not the tag allocation). Collectives and
+    /// distributed-array operations rely on this.
+    pub fn next_op_tag(&mut self) -> u64 {
+        let f = self.top_mut();
+        let t = mix2(f.handle.gid(), f.seq);
+        f.seq += 1;
+        t
+    }
+
+    /// Send to a *physical* processor on a precomputed wire tag. Used by
+    /// the data-parallel layer whose communication sets are expressed in
+    /// physical ranks (possibly spanning sibling subgroups).
+    pub fn send_phys<T: Payload>(&mut self, dst_phys: usize, wire_tag: u64, value: T) {
+        self.rt.send(dst_phys, wire_tag, value);
+    }
+
+    /// Receive from a *physical* processor on a precomputed wire tag.
+    pub fn recv_phys<T: Payload>(&mut self, src_phys: usize, wire_tag: u64) -> T {
+        self.rt.recv(src_phys, wire_tag)
+    }
+
+    // ----- group stack manipulation ---------------------------------------
+
+    /// Execute `f` with `group` pushed as the current group. Panics if this
+    /// processor is not a member — callers decide whether to skip first
+    /// (that is what `TaskRegion::on` does).
+    pub fn enter<R>(&mut self, group: &GroupHandle, f: impl FnOnce(&mut Cx) -> R) -> R {
+        self.enter_with_seq(group, 0, f).0
+    }
+
+    /// Like [`Cx::enter`] but resuming the group's operation sequence from
+    /// `seq`; returns the closure result and the sequence value at exit.
+    /// Task regions use this so repeated `ON SUBGROUP` blocks of the same
+    /// subgroup keep allocating fresh tags.
+    pub(crate) fn enter_with_seq<R>(
+        &mut self,
+        group: &GroupHandle,
+        seq: u64,
+        f: impl FnOnce(&mut Cx) -> R,
+    ) -> (R, u64) {
+        let vrank = group
+            .vrank_of_phys(self.phys_rank())
+            .unwrap_or_else(|| panic!(
+                "processor {} entered group {:#x} it does not belong to",
+                self.phys_rank(),
+                group.gid()
+            ));
+        self.stack.push(Frame { handle: group.clone(), vrank, seq });
+        let out = f(self);
+        let frame = self.stack.pop().expect("group stack underflow");
+        debug_assert_eq!(frame.handle.gid(), group.gid(), "unbalanced group stack");
+        (out, frame.seq)
+    }
+
+    /// Escape hatch to the raw runtime context.
+    pub fn runtime(&mut self) -> &mut ProcCtx {
+        self.rt
+    }
+
+    #[inline]
+    pub(crate) fn top(&self) -> &Frame {
+        self.stack.last().expect("group stack is never empty")
+    }
+
+    #[inline]
+    pub(crate) fn top_mut(&mut self) -> &mut Frame {
+        self.stack.last_mut().expect("group stack is never empty")
+    }
+}
+
+/// Run an SPMD program under the Fx model: every processor of `machine`
+/// executes `f` with a [`Cx`] whose initial group is the whole machine.
+///
+/// ```
+/// use fx_core::{spmd, Machine};
+///
+/// let report = spmd(&Machine::real(4), |cx| {
+///     cx.allreduce(cx.id() as u64, |a, b| a + b)
+/// });
+/// assert_eq!(report.results, vec![6, 6, 6, 6]); // 0+1+2+3 everywhere
+/// ```
+pub fn spmd<R, F>(machine: &Machine, f: F) -> RunReport<R>
+where
+    R: Send,
+    F: Fn(&mut Cx) -> R + Send + Sync,
+{
+    fx_runtime::run(machine, |rt| {
+        let mut cx = Cx::new(rt);
+        f(&mut cx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_runtime::MachineModel;
+
+    #[test]
+    fn world_group_identity() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            assert_eq!(cx.nprocs(), 4);
+            assert_eq!(cx.world_nprocs(), 4);
+            assert_eq!(cx.id(), cx.phys_rank());
+            assert_eq!(cx.nesting_depth(), 1);
+            cx.id()
+        });
+        assert_eq!(rep.results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn group_relative_send_recv() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            if cx.id() == 0 {
+                cx.send_v(2, 5, 77u32);
+                0
+            } else if cx.id() == 2 {
+                cx.recv_v::<u32>(0, 5)
+            } else {
+                0
+            }
+        });
+        assert_eq!(rep.results[2], 77);
+    }
+
+    #[test]
+    fn enter_subgroup_changes_view() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            let g = GroupHandle::new(42, Arc::new(vec![1, 3]));
+            if g.contains_phys(cx.phys_rank()) {
+                cx.enter(&g, |cx| {
+                    assert_eq!(cx.nprocs(), 2);
+                    assert_eq!(cx.nesting_depth(), 2);
+                    cx.id() as i64
+                })
+            } else {
+                -1
+            }
+        });
+        assert_eq!(rep.results, vec![-1, 0, -1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn entering_foreign_group_panics() {
+        spmd(&Machine::real(2), |cx| {
+            let g = GroupHandle::new(42, Arc::new(vec![0]));
+            // Rank 1 is not a member but enters anyway.
+            if cx.phys_rank() == 1 {
+                cx.enter(&g, |_| ());
+            }
+        });
+    }
+
+    #[test]
+    fn op_tags_are_consistent_across_members_and_distinct_in_sequence() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            let a = cx.next_op_tag();
+            let b = cx.next_op_tag();
+            assert_ne!(a, b);
+            (a, b)
+        });
+        assert_eq!(rep.results[0], rep.results[1]);
+        assert_eq!(rep.results[1], rep.results[2]);
+    }
+
+    #[test]
+    fn tags_differ_between_groups() {
+        let rep = spmd(&Machine::real(2), |cx| {
+            let world_tag = cx.next_op_tag();
+            let g = GroupHandle::new(mix2(1, 2), Arc::new(vec![0, 1]));
+            let sub_tag = cx.enter(&g, |cx| cx.next_op_tag());
+            (world_tag, sub_tag)
+        });
+        assert_ne!(rep.results[0].0, rep.results[0].1);
+    }
+
+    #[test]
+    fn charges_accumulate_in_sim_mode() {
+        let rep = spmd(&Machine::simulated(1, MachineModel::zero_comm(1e-6)), |cx| {
+            cx.charge_flops(500.0);
+            cx.charge_seconds(0.5);
+            cx.now()
+        });
+        assert!((rep.results[0] - 0.5005).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,502 @@
+//! Three-dimensional distributed arrays.
+//!
+//! Added for the Airshed model, whose central data structure is the
+//! concentration matrix `layers x gridpoints x species` (paper §5.2) —
+//! distributed over the grid-point dimension, with layers and species
+//! local. The implementation mirrors [`crate::DArray2`] with a
+//! three-dimensional processor grid.
+
+use fx_core::{Cx, GroupHandle};
+
+use crate::array1::Elem;
+use crate::dist::{DimMap, Dist};
+
+/// Distribution of a 3-D array: one [`Dist`] per dimension.
+pub type Dist3 = (Dist, Dist, Dist);
+
+/// A `d0 x d1 x d2` array over a group arranged as a `p0 x p1 x p2` grid
+/// (virtual rank `v` at `(v / (p1*p2), (v / p2) % p1, v % p2)`).
+#[derive(Debug, Clone)]
+pub struct DArray3<T> {
+    group: GroupHandle,
+    dist: Dist3,
+    grid: (usize, usize, usize),
+    maps: [DimMap; 3],
+    shape: [usize; 3],
+    my_coord: Option<(usize, usize, usize)>,
+    /// Row-major `l0 x l1 x l2` local storage.
+    local: Vec<T>,
+}
+
+fn default_grid3(dist: Dist3, p: usize) -> (usize, usize, usize) {
+    // Put all processors on the first distributed dimension; a fully
+    // serial array needs a singleton group (as in 2-D).
+    match (dist.0, dist.1, dist.2) {
+        (Dist::Star, Dist::Star, Dist::Star) => {
+            assert_eq!(p, 1, "a fully '*' (serial) array needs a single-processor group");
+            (1, 1, 1)
+        }
+        (d, Dist::Star, Dist::Star) if d != Dist::Star => (p, 1, 1),
+        (Dist::Star, d, Dist::Star) if d != Dist::Star => (1, p, 1),
+        (Dist::Star, Dist::Star, _) => (1, 1, p),
+        _ => panic!(
+            "DArray3 supports one distributed dimension (got {dist:?}); \
+             use an explicit grid via with_grid for more"
+        ),
+    }
+}
+
+impl<T: Elem> DArray3<T> {
+    /// Create with the default grid (all processors on the distributed
+    /// dimension).
+    pub fn new(cx: &Cx, group: &GroupHandle, shape: [usize; 3], dist: Dist3, fill: T) -> Self {
+        let grid = default_grid3(dist, group.len());
+        Self::with_grid(cx, group, shape, dist, grid, fill)
+    }
+
+    /// Create with an explicit processor grid.
+    pub fn with_grid(
+        cx: &Cx,
+        group: &GroupHandle,
+        shape: [usize; 3],
+        dist: Dist3,
+        grid: (usize, usize, usize),
+        fill: T,
+    ) -> Self {
+        let (p0, p1, p2) = grid;
+        assert_eq!(p0 * p1 * p2, group.len(), "grid does not match group size");
+        let maps = [
+            DimMap::new(shape[0], p0, dist.0),
+            DimMap::new(shape[1], p1, dist.1),
+            DimMap::new(shape[2], p2, dist.2),
+        ];
+        let my_coord = group
+            .vrank_of_phys(cx.phys_rank())
+            .map(|v| (v / (p1 * p2), (v / p2) % p1, v % p2));
+        let local = match my_coord {
+            None => Vec::new(),
+            Some((c0, c1, c2)) => {
+                vec![fill; maps[0].local_len(c0) * maps[1].local_len(c1) * maps[2].local_len(c2)]
+            }
+        };
+        DArray3 { group: group.clone(), dist, grid, maps, shape, my_coord, local }
+    }
+
+    /// Global extents `[d0, d1, d2]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Per-dimension distribution descriptor.
+    pub fn dist(&self) -> Dist3 {
+        self.dist
+    }
+
+    /// The group the array is mapped onto.
+    pub fn group(&self) -> &GroupHandle {
+        &self.group
+    }
+
+    /// Is the calling processor a member of the array's group?
+    pub fn is_member(&self) -> bool {
+        self.my_coord.is_some()
+    }
+
+    /// Local extents `(l0, l1, l2)`.
+    pub fn local_dims(&self) -> (usize, usize, usize) {
+        match self.my_coord {
+            None => (0, 0, 0),
+            Some((c0, c1, c2)) => (
+                self.maps[0].local_len(c0),
+                self.maps[1].local_len(c1),
+                self.maps[2].local_len(c2),
+            ),
+        }
+    }
+
+    /// Local extents of an arbitrary member by virtual rank.
+    pub fn local_dims_of(&self, vrank: usize) -> (usize, usize, usize) {
+        let (_, p1, p2) = self.grid;
+        let (c0, c1, c2) = (vrank / (p1 * p2), (vrank / p2) % p1, vrank % p2);
+        (
+            self.maps[0].local_len(c0),
+            self.maps[1].local_len(c1),
+            self.maps[2].local_len(c2),
+        )
+    }
+
+    /// Row-major local block (empty on non-members).
+    pub fn local(&self) -> &[T] {
+        &self.local
+    }
+
+    /// Mutable view of the local block.
+    pub fn local_mut(&mut self) -> &mut [T] {
+        &mut self.local
+    }
+
+    /// Physical owner of global element `(i0, i1, i2)`.
+    pub fn owner_phys(&self, i0: usize, i1: usize, i2: usize) -> usize {
+        let (_, p1, p2) = self.grid;
+        let v = self.maps[0].owner(i0) * p1 * p2
+            + self.maps[1].owner(i1) * p2
+            + self.maps[2].owner(i2);
+        self.group.phys(v)
+    }
+
+    /// Global indices of local element `(l0, l1, l2)`.
+    pub fn global_of_local(&self, l0: usize, l1: usize, l2: usize) -> (usize, usize, usize) {
+        let (c0, c1, c2) = self.my_coord.expect("non-member has no local elements");
+        (
+            self.maps[0].global_of(c0, l0),
+            self.maps[1].global_of(c1, l1),
+            self.maps[2].global_of(c2, l2),
+        )
+    }
+
+    /// Apply `f(i0, i1, i2, &mut v)` over owned elements in local
+    /// row-major order.
+    pub fn for_each_owned(&mut self, mut f: impl FnMut(usize, usize, usize, &mut T)) {
+        let Some((c0, c1, c2)) = self.my_coord else { return };
+        let (l0, l1, l2) = (
+            self.maps[0].local_len(c0),
+            self.maps[1].local_len(c1),
+            self.maps[2].local_len(c2),
+        );
+        for a in 0..l0 {
+            let g0 = self.maps[0].global_of(c0, a);
+            for b in 0..l1 {
+                let g1 = self.maps[1].global_of(c1, b);
+                for c in 0..l2 {
+                    let g2 = self.maps[2].global_of(c2, c);
+                    f(g0, g1, g2, &mut self.local[(a * l1 + b) * l2 + c]);
+                }
+            }
+        }
+    }
+
+    /// Fold over owned elements.
+    pub fn fold_owned<A>(&self, init: A, mut f: impl FnMut(A, usize, usize, usize, T) -> A) -> A {
+        let mut acc = init;
+        let Some((c0, c1, c2)) = self.my_coord else { return acc };
+        let (l0, l1, l2) = (
+            self.maps[0].local_len(c0),
+            self.maps[1].local_len(c1),
+            self.maps[2].local_len(c2),
+        );
+        for a in 0..l0 {
+            let g0 = self.maps[0].global_of(c0, a);
+            for b in 0..l1 {
+                let g1 = self.maps[1].global_of(c1, b);
+                for c in 0..l2 {
+                    let g2 = self.maps[2].global_of(c2, c);
+                    acc = f(acc, g0, g1, g2, self.local[(a * l1 + b) * l2 + c]);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Collect the whole array (row-major) on every member — collective
+    /// over the array's group.
+    pub fn to_global(&self, cx: &mut Cx) -> Vec<T>
+    where
+        T: Default,
+    {
+        assert_eq!(
+            cx.group().gid(),
+            self.group.gid(),
+            "to_global is a collective over the array's group"
+        );
+        let parts: Vec<Vec<T>> = cx.allgather_vecs(self.local.clone());
+        let [d0, d1, d2] = self.shape;
+        let (_, p1, p2) = self.grid;
+        let mut out = vec![T::default(); d0 * d1 * d2];
+        for (v, part) in parts.iter().enumerate() {
+            let (c0, c1, c2) = (v / (p1 * p2), (v / p2) % p1, v % p2);
+            let (l0, l1, l2) = (
+                self.maps[0].local_len(c0),
+                self.maps[1].local_len(c1),
+                self.maps[2].local_len(c2),
+            );
+            for a in 0..l0 {
+                let g0 = self.maps[0].global_of(c0, a);
+                for b in 0..l1 {
+                    let g1 = self.maps[1].global_of(c1, b);
+                    for c in 0..l2 {
+                        let g2 = self.maps[2].global_of(c2, c);
+                        out[(g0 * d1 + g1) * d2 + g2] = part[(a * l1 + b) * l2 + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn maps(&self) -> &[DimMap; 3] {
+        &self.maps
+    }
+
+    pub(crate) fn grid(&self) -> (usize, usize, usize) {
+        self.grid
+    }
+}
+
+/// Distributed assignment `dst = src` between 3-D arrays of the same
+/// shape (any distributions/groups) — the 3-D analogue of
+/// [`crate::assign2`], with the same minimal-processor-subset skipping.
+pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
+    assert_eq!(dst.shape(), src.shape(), "assign3 shape mismatch");
+    let tag = cx.next_op_tag();
+    let me = cx.phys_rank();
+    if !src.is_member() && !dst.is_member() {
+        return; // minimal-subset skip
+    }
+
+    let s_maps = *src.maps();
+    let d_maps = *dst.maps();
+    let s_group = src.group().clone();
+    let d_group = dst.group().clone();
+    let (_, sp1, sp2) = src.grid();
+    let (_, dp1, dp2) = dst.grid();
+    let (sl0, sl1, sl2) = src.local_dims();
+    let (_dl0, dl1, dl2) = dst.local_dims();
+    let _ = (sl0,);
+
+    let mut sends: std::collections::BTreeMap<usize, Vec<T>> = Default::default();
+    let mut recvs: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    let mut local_bytes = 0usize;
+    let [d0, d1, d2] = dst.shape();
+
+    for i0 in 0..d0 {
+        for i1 in 0..d1 {
+            for i2 in 0..d2 {
+                let sp = s_group.phys(
+                    s_maps[0].owner(i0) * sp1 * sp2
+                        + s_maps[1].owner(i1) * sp2
+                        + s_maps[2].owner(i2),
+                );
+                let dp = d_group.phys(
+                    d_maps[0].owner(i0) * dp1 * dp2
+                        + d_maps[1].owner(i1) * dp2
+                        + d_maps[2].owner(i2),
+                );
+                if sp == me {
+                    let slot = (s_maps[0].local_of(i0) * sl1 + s_maps[1].local_of(i1)) * sl2
+                        + s_maps[2].local_of(i2);
+                    let v = src.local()[slot];
+                    if dp == me {
+                        let dslot = (d_maps[0].local_of(i0) * dl1 + d_maps[1].local_of(i1))
+                            * dl2
+                            + d_maps[2].local_of(i2);
+                        dst.local_mut()[dslot] = v;
+                        local_bytes += std::mem::size_of::<T>();
+                    } else {
+                        sends.entry(dp).or_default().push(v);
+                    }
+                } else if dp == me {
+                    let dslot = (d_maps[0].local_of(i0) * dl1 + d_maps[1].local_of(i1)) * dl2
+                        + d_maps[2].local_of(i2);
+                    recvs.entry(sp).or_default().push(dslot);
+                }
+            }
+        }
+    }
+
+    cx.charge_mem_bytes(2.0 * local_bytes as f64);
+    for (dp, buf) in sends {
+        cx.send_phys(dp, tag, buf);
+    }
+    for (sp, slots) in recvs {
+        let buf: Vec<T> = cx.recv_phys(sp, tag);
+        debug_assert_eq!(buf.len(), slots.len(), "communication set mismatch");
+        let local = dst.local_mut();
+        for (slot, v) in slots.into_iter().zip(buf) {
+            local[slot] = v;
+        }
+    }
+}
+
+/// Ghost planes along dimension 1 (the distributed dimension of a
+/// `(*, BLOCK, *)` array): `before`/`after` each hold `width` planes of
+/// `l0 x l2` values, row-major `width x l0 x l2`; empty at the edges.
+#[derive(Debug, Clone)]
+pub struct PlaneHalo<T> {
+    /// Ghost planes from the lower-index neighbour (empty at the edge).
+    pub before: Vec<T>,
+    /// Ghost planes from the higher-index neighbour (empty at the edge).
+    pub after: Vec<T>,
+}
+
+/// Exchange `width` ghost planes between neighbours along dimension 1 of
+/// a `(*, BLOCK, *)`-distributed array. Collective over the array's
+/// group.
+pub fn exchange_plane_halo<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -> PlaneHalo<T> {
+    assert_eq!(
+        cx.group().gid(),
+        a.group().gid(),
+        "halo exchange is a collective over the array's group"
+    );
+    assert_eq!(
+        a.dist(),
+        (Dist::Star, Dist::Block, Dist::Star),
+        "plane halo needs a (*, BLOCK, *) distribution"
+    );
+    let tag = cx.next_op_tag();
+    let me = cx.id();
+    let (l0, l1, l2) = a.local_dims();
+    assert!(
+        l1 == 0 || l1 >= width,
+        "processor {me} owns {l1} planes, fewer than the halo width {width}"
+    );
+    if l1 == 0 {
+        return PlaneHalo { before: Vec::new(), after: Vec::new() };
+    }
+    let first = a.global_of_local(0, 0, 0).1;
+    let last = a.global_of_local(0, l1 - 1, 0).1;
+    let before_exists = first > 0;
+    let after_exists = last + 1 < a.shape()[1];
+
+    // Pack `width` planes starting at local plane `lo`.
+    let pack = |lo: usize| -> Vec<T> {
+        let mut buf = Vec::with_capacity(width * l0 * l2);
+        for w in 0..width {
+            for a0 in 0..l0 {
+                let base = (a0 * l1 + lo + w) * l2;
+                buf.extend_from_slice(&a.local()[base..base + l2]);
+            }
+        }
+        buf
+    };
+    if before_exists {
+        cx.send_v(me - 1, tag, pack(0));
+    }
+    if after_exists {
+        cx.send_v(me + 1, tag, pack(l1 - width));
+    }
+    let before = if before_exists { cx.recv_v(me - 1, tag) } else { Vec::new() };
+    let after = if after_exists { cx.recv_v(me + 1, tag) } else { Vec::new() };
+    PlaneHalo { before, after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{spmd, Machine, Size};
+
+    #[test]
+    fn layout_and_roundtrip() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            let g = cx.group();
+            let mut a = DArray3::new(cx, &g, [2, 9, 4], (Dist::Star, Dist::Block, Dist::Star), 0u32);
+            a.for_each_owned(|i0, i1, i2, v| *v = (i0 * 100 + i1 * 10 + i2) as u32);
+            (a.local_dims(), a.to_global(cx))
+        });
+        assert_eq!(rep.results[0].0, (2, 3, 4));
+        let expect: Vec<u32> = (0..2)
+            .flat_map(|i0| {
+                (0..9).flat_map(move |i1| (0..4).map(move |i2| (i0 * 100 + i1 * 10 + i2) as u32))
+            })
+            .collect();
+        for r in &rep.results {
+            assert_eq!(r.1, expect);
+        }
+    }
+
+    #[test]
+    fn owner_matches_membership() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            let g = cx.group();
+            let a = DArray3::new(cx, &g, [3, 8, 2], (Dist::Star, Dist::Block, Dist::Star), 0u8);
+            let mut mine = 0usize;
+            for i0 in 0..3 {
+                for i1 in 0..8 {
+                    for i2 in 0..2 {
+                        if a.owner_phys(i0, i1, i2) == cx.phys_rank() {
+                            mine += 1;
+                        }
+                    }
+                }
+            }
+            (mine, a.local().len())
+        });
+        for (mine, len) in rep.results {
+            assert_eq!(mine, len);
+        }
+    }
+
+    #[test]
+    fn assign3_across_groups() {
+        let rep = spmd(&Machine::real(5), |cx| {
+            let part = cx.task_partition(&[("a", Size::Procs(2)), ("b", Size::Rest)]);
+            let ga = part.group("a");
+            let gb = part.group("b");
+            let mut src = DArray3::new(cx, &ga, [2, 6, 3], (Dist::Star, Dist::Block, Dist::Star), 0u64);
+            src.for_each_owned(|i0, i1, i2, v| *v = (i0 * 36 + i1 * 6 + i2) as u64);
+            let mut dst = DArray3::new(cx, &gb, [2, 6, 3], (Dist::Star, Dist::Block, Dist::Star), 0u64);
+            assign3(cx, &mut dst, &src);
+            dst.fold_owned(true, |ok, i0, i1, i2, v| ok && v == (i0 * 36 + i1 * 6 + i2) as u64)
+        });
+        assert!(rep.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn assign3_dim0_redistribution() {
+        // (BLOCK, *, *) → (*, BLOCK, *): a genuine all-to-all in 3-D.
+        let rep = spmd(&Machine::real(2), |cx| {
+            let g = cx.group();
+            let mut src = DArray3::new(cx, &g, [4, 4, 2], (Dist::Block, Dist::Star, Dist::Star), 0i32);
+            src.for_each_owned(|a, b, c, v| *v = (a * 8 + b * 2 + c) as i32);
+            let mut dst = DArray3::new(cx, &g, [4, 4, 2], (Dist::Star, Dist::Block, Dist::Star), 0i32);
+            assign3(cx, &mut dst, &src);
+            dst.to_global(cx)
+        });
+        let expect: Vec<i32> = (0..32).collect();
+        assert_eq!(rep.results[0], expect);
+    }
+
+    #[test]
+    fn plane_halo_matches_neighbours() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            let g = cx.group();
+            let mut a = DArray3::new(cx, &g, [2, 6, 2], (Dist::Star, Dist::Block, Dist::Star), 0u32);
+            a.for_each_owned(|i0, i1, i2, v| *v = (i0 * 100 + i1 * 10 + i2) as u32);
+            let h = exchange_plane_halo(cx, &a, 1);
+            (h.before, h.after)
+        });
+        // Proc 1 owns planes (i1) 2..4; before = plane 1, after = plane 4.
+        // Packed order: i0-major within the plane: [i0=0(i2 0,1), i0=1(...)].
+        assert_eq!(rep.results[1].0, vec![10, 11, 110, 111]);
+        assert_eq!(rep.results[1].1, vec![40, 41, 140, 141]);
+        assert_eq!(rep.results[0].0, Vec::<u32>::new());
+        assert_eq!(rep.results[2].1, Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one distributed dimension")]
+    fn two_distributed_dims_need_explicit_grid() {
+        spmd(&Machine::real(4), |cx| {
+            let g = cx.group();
+            DArray3::new(cx, &g, [4, 4, 4], (Dist::Block, Dist::Block, Dist::Star), 0u8);
+        });
+    }
+
+    #[test]
+    fn explicit_grid_two_distributed_dims() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            let g = cx.group();
+            let mut a = DArray3::with_grid(
+                cx,
+                &g,
+                [4, 4, 3],
+                (Dist::Block, Dist::Block, Dist::Star),
+                (2, 2, 1),
+                0u32,
+            );
+            a.for_each_owned(|i0, i1, i2, v| *v = (i0 * 12 + i1 * 3 + i2) as u32);
+            a.to_global(cx)
+        });
+        let expect: Vec<u32> = (0..48).collect();
+        assert_eq!(rep.results[0], expect);
+    }
+}

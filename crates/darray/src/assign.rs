@@ -1,0 +1,481 @@
+//! Distributed array assignment — the parent-scope communication statement.
+//!
+//! `A2 = A1` between arrays mapped onto *different* subgroups is how data
+//! crosses task boundaries in the paper (Figure 2's pipeline). Two of the
+//! paper's §4 implementation points live here:
+//!
+//! * **Minimal processor subsets**: the participating processors of an
+//!   array assignment are exactly the owners of the source and destination.
+//!   Everyone else *skips past the statement without synchronizing* — the
+//!   property that makes pipelined task parallelism possible. The
+//!   [`Participation::WholeGroup`] mode disables the analysis (all current
+//!   processors synchronize first), which is the ablation for the paper's
+//!   claim that this optimization is essential.
+//! * **Localization / no empty messages**: both sides compute the exact
+//!   communication sets from distribution metadata, so a message is
+//!   exchanged only between processors that actually share elements.
+//!
+//! The general entry points are `copy_remap*`: `dst[i] = src[f(i)]`
+//! (and the 2-D analogue), which subsume plain assignment, transposition,
+//! shifts, and sub-range merges.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use fx_core::Cx;
+
+use crate::array1::{DArray1, Dist1, Elem};
+use crate::array2::DArray2;
+use crate::dist::DimMap;
+
+/// Which processors take part in a parent-scope array statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Participation {
+    /// Only owners of source/destination elements participate; all other
+    /// processors of the current group skip instantly (paper §4,
+    /// "Identification of minimal processor subsets").
+    Minimal,
+    /// Pessimistic baseline: every processor of the current group
+    /// synchronizes at the statement before the owners move data.
+    WholeGroup,
+}
+
+/// `dst[i] = src[f(i)]` for all `i` — whole-array remapped copy.
+pub fn copy_remap1<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray1<T>,
+    src: &DArray1<T>,
+    f: impl Fn(usize) -> usize,
+) {
+    let n = dst.n();
+    copy_remap1_range(cx, dst, 0..n, src, f, Participation::Minimal);
+}
+
+/// Plain distributed assignment `dst = src` (shapes must match).
+///
+/// ```
+/// use fx_core::{spmd, Machine};
+/// use fx_darray::{assign1, DArray1, Dist1};
+///
+/// spmd(&Machine::real(3), |cx| {
+///     let g = cx.group();
+///     let src = DArray1::from_global(cx, &g, Dist1::Block, &[1u64, 2, 3, 4, 5]);
+///     let mut dst = DArray1::new(cx, &g, 5, Dist1::Cyclic, 0u64);
+///     assign1(cx, &mut dst, &src); // BLOCK -> CYCLIC redistribution
+///     assert_eq!(dst.to_global(cx), vec![1, 2, 3, 4, 5]);
+/// });
+/// ```
+pub fn assign1<T: Elem>(cx: &mut Cx, dst: &mut DArray1<T>, src: &DArray1<T>) {
+    assert_eq!(dst.n(), src.n(), "assign1 shape mismatch");
+    copy_remap1(cx, dst, src, |i| i);
+}
+
+/// Immutable placement descriptor extracted from a 1-D array so that
+/// communication planning never aliases the storage borrows.
+struct Desc1 {
+    group: fx_core::GroupHandle,
+    map: DimMap,
+    replicated: bool,
+}
+
+impl Desc1 {
+    fn of<T: Elem>(a: &DArray1<T>) -> Self {
+        Desc1 {
+            group: a.group().clone(),
+            map: *a.map(),
+            replicated: matches!(a.dist(), Dist1::Replicated),
+        }
+    }
+
+    /// Local slot of global index `gi` on its owner.
+    #[inline]
+    fn slot(&self, gi: usize) -> usize {
+        if self.replicated {
+            gi
+        } else {
+            self.map.local_of(gi)
+        }
+    }
+
+    /// Physical owner serving `gi` to destination processor `dp`.
+    #[inline]
+    fn src_owner(&self, gi: usize, dp: usize) -> usize {
+        if self.replicated {
+            if self.group.contains_phys(dp) {
+                dp
+            } else {
+                self.group.phys(dp % self.group.len())
+            }
+        } else {
+            self.group.phys(self.map.owner(gi))
+        }
+    }
+}
+
+/// `dst[i] = src[f(i)]` for `i` in `range`, with explicit participation.
+///
+/// Must be called by **every** member of the current group (SPMD), even
+/// those that will skip — the operation tag is allocated collectively.
+pub fn copy_remap1_range<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray1<T>,
+    range: Range<usize>,
+    src: &DArray1<T>,
+    f: impl Fn(usize) -> usize,
+    mode: Participation,
+) {
+    assert!(range.end <= dst.n(), "range {range:?} exceeds dst extent {}", dst.n());
+    let tag = cx.next_op_tag();
+    if mode == Participation::WholeGroup {
+        cx.barrier();
+    }
+    let me = cx.phys_rank();
+    if !src.is_member() && !dst.is_member() {
+        return; // minimal-subset skip
+    }
+
+    let s = Desc1::of(src);
+    let d = Desc1::of(dst);
+    let src_n = src.n();
+
+    let mut sends: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+    let mut recvs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut local_bytes = 0usize;
+
+    // Small reusable buffer for the destination owners of one element.
+    let mut dsts: Vec<usize> = Vec::with_capacity(if d.replicated { d.group.len() } else { 1 });
+    for gi in range {
+        let sgi = f(gi);
+        debug_assert!(sgi < src_n, "remap sends {gi} to {sgi}, outside src extent {src_n}");
+        dsts.clear();
+        if d.replicated {
+            dsts.extend_from_slice(d.group.members());
+        } else {
+            dsts.push(d.group.phys(d.map.owner(gi)));
+        }
+        for &dp in &dsts {
+            let sp = s.src_owner(sgi, dp);
+            if sp == me {
+                let v = src.local()[s.slot(sgi)];
+                if dp == me {
+                    let slot = d.slot(gi);
+                    dst.local_mut()[slot] = v;
+                    local_bytes += std::mem::size_of::<T>();
+                } else {
+                    sends.entry(dp).or_default().push(v);
+                }
+            } else if dp == me {
+                recvs.entry(sp).or_default().push(d.slot(gi));
+            }
+        }
+    }
+
+    cx.charge_mem_bytes(2.0 * local_bytes as f64);
+    for (dp, buf) in sends {
+        cx.send_phys(dp, tag, buf);
+    }
+    for (sp, slots) in recvs {
+        let buf: Vec<T> = cx.recv_phys(sp, tag);
+        debug_assert_eq!(buf.len(), slots.len(), "communication set mismatch");
+        let local = dst.local_mut();
+        for (slot, v) in slots.into_iter().zip(buf) {
+            local[slot] = v;
+        }
+    }
+}
+
+/// `dst[r][c] = src[f(r, c)]` for the whole destination.
+pub fn copy_remap2<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray2<T>,
+    src: &DArray2<T>,
+    f: impl Fn(usize, usize) -> (usize, usize),
+) {
+    copy_remap2_with(cx, dst, src, f, Participation::Minimal);
+}
+
+/// Plain distributed assignment `dst = src` for matrices (the statement
+/// `A2 = A1` of Figure 2 — same global shape, possibly different
+/// distributions *and* different processor subgroups).
+pub fn assign2<T: Elem>(cx: &mut Cx, dst: &mut DArray2<T>, src: &DArray2<T>) {
+    assert_eq!(dst.rows(), src.rows(), "assign2 row mismatch");
+    assert_eq!(dst.cols(), src.cols(), "assign2 col mismatch");
+    copy_remap2(cx, dst, src, |r, c| (r, c));
+}
+
+/// Distributed transposition `dst[r][c] = src[c][r]` (the radar corner
+/// turn; also the data motion between column-FFT and row-FFT stages).
+pub fn transpose2<T: Elem>(cx: &mut Cx, dst: &mut DArray2<T>, src: &DArray2<T>) {
+    assert_eq!(dst.rows(), src.cols(), "transpose2 shape mismatch");
+    assert_eq!(dst.cols(), src.rows(), "transpose2 shape mismatch");
+    copy_remap2(cx, dst, src, |r, c| (c, r));
+}
+
+/// `dst[r][c] = src[f(r, c)]` with explicit participation mode.
+pub fn copy_remap2_with<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray2<T>,
+    src: &DArray2<T>,
+    f: impl Fn(usize, usize) -> (usize, usize),
+    mode: Participation,
+) {
+    let tag = cx.next_op_tag();
+    if mode == Participation::WholeGroup {
+        cx.barrier();
+    }
+    let me = cx.phys_rank();
+    if !src.is_member() && !dst.is_member() {
+        return; // minimal-subset skip
+    }
+
+    let (s_rmap, s_cmap) = {
+        let m = src.maps();
+        (*m.0, *m.1)
+    };
+    let (d_rmap, d_cmap) = {
+        let m = dst.maps();
+        (*m.0, *m.1)
+    };
+    let s_group = src.group().clone();
+    let d_group = dst.group().clone();
+    let s_grid_cols = src.grid().1;
+    let d_grid_cols = dst.grid().1;
+    let s_local_cols = src.local_dims().1;
+    let d_local_cols = dst.local_dims().1;
+
+    let mut sends: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+    let mut recvs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut local_bytes = 0usize;
+
+    for r in 0..dst.rows() {
+        for c in 0..dst.cols() {
+            let (sr, sc) = f(r, c);
+            debug_assert!(sr < src.rows() && sc < src.cols(), "remap out of src bounds");
+            let sp = s_group.phys(s_rmap.owner(sr) * s_grid_cols + s_cmap.owner(sc));
+            let dp = d_group.phys(d_rmap.owner(r) * d_grid_cols + d_cmap.owner(c));
+            if sp == me {
+                let v = src.local()[s_rmap.local_of(sr) * s_local_cols + s_cmap.local_of(sc)];
+                if dp == me {
+                    let slot = d_rmap.local_of(r) * d_local_cols + d_cmap.local_of(c);
+                    dst.local_mut()[slot] = v;
+                    local_bytes += std::mem::size_of::<T>();
+                } else {
+                    sends.entry(dp).or_default().push(v);
+                }
+            } else if dp == me {
+                let slot = d_rmap.local_of(r) * d_local_cols + d_cmap.local_of(c);
+                recvs.entry(sp).or_default().push(slot);
+            }
+        }
+    }
+
+    cx.charge_mem_bytes(2.0 * local_bytes as f64);
+    for (dp, buf) in sends {
+        cx.send_phys(dp, tag, buf);
+    }
+    for (sp, slots) in recvs {
+        let buf: Vec<T> = cx.recv_phys(sp, tag);
+        debug_assert_eq!(buf.len(), slots.len(), "communication set mismatch");
+        let local = dst.local_mut();
+        for (slot, v) in slots.into_iter().zip(buf) {
+            local[slot] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use fx_core::{spmd, Machine, Size};
+
+    #[test]
+    fn assign1_between_distributions() {
+        let cases = [
+            (Dist1::Block, Dist1::Cyclic),
+            (Dist1::Cyclic, Dist1::Block),
+            (Dist1::Block, Dist1::BlockCyclic(3)),
+            (Dist1::BlockCyclic(2), Dist1::BlockCyclic(5)),
+        ];
+        for (sd, dd) in cases {
+            let rep = spmd(&Machine::real(4), move |cx| {
+                let g = cx.group();
+                let data: Vec<u64> = (0..23).map(|i| i * 7).collect();
+                let src = DArray1::from_global(cx, &g, sd, &data);
+                let mut dst = DArray1::new(cx, &g, 23, dd, 0u64);
+                assign1(cx, &mut dst, &src);
+                dst.to_global(cx)
+            });
+            for r in rep.results {
+                assert_eq!(r, (0..23).map(|i| i * 7).collect::<Vec<u64>>(), "{sd:?}->{dd:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign1_across_disjoint_subgroups() {
+        // The pipeline statement: src on G1, dst on G2.
+        let rep = spmd(&Machine::real(6), |cx| {
+            let part = cx.task_partition(&[("g1", Size::Procs(2)), ("g2", Size::Rest)]);
+            let g1 = part.group("g1");
+            let g2 = part.group("g2");
+            let data: Vec<i64> = (0..17).map(|i| 1000 - i).collect();
+            let src = DArray1::from_global(cx, &g1, Dist1::Block, &data);
+            let mut dst = DArray1::new(cx, &g2, 17, Dist1::Block, 0i64);
+            assign1(cx, &mut dst, &src);
+            if dst.is_member() {
+                cx.task_region(&part, |cx, tr| {
+                    tr.on(cx, "g2", |cx| dst.to_global(cx)).unwrap()
+                })
+            } else {
+                Vec::new()
+            }
+        });
+        let expect: Vec<i64> = (0..17).map(|i| 1000 - i).collect();
+        for r in &rep.results[2..] {
+            assert_eq!(*r, expect);
+        }
+    }
+
+    #[test]
+    fn replicated_to_block_and_back() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            let g = cx.group();
+            let data: Vec<u32> = (0..11).collect();
+            let src = DArray1::from_global(cx, &g, Dist1::Replicated, &data);
+            let mut mid = DArray1::new(cx, &g, 11, Dist1::Block, 0u32);
+            assign1(cx, &mut mid, &src);
+            mid.for_each_owned(|_gi, v| *v += 100);
+            let mut back = DArray1::new(cx, &g, 11, Dist1::Replicated, 0u32);
+            assign1(cx, &mut back, &mid);
+            back.local().to_vec()
+        });
+        let expect: Vec<u32> = (100..111).collect();
+        for r in rep.results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn remap_reverses() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            let g = cx.group();
+            let data: Vec<u16> = (0..9).collect();
+            let src = DArray1::from_global(cx, &g, Dist1::Block, &data);
+            let mut dst = DArray1::new(cx, &g, 9, Dist1::Cyclic, 0u16);
+            copy_remap1(cx, &mut dst, &src, |i| 8 - i);
+            dst.to_global(cx)
+        });
+        assert_eq!(rep.results[0], vec![8, 7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn range_assign_merges_subarrays() {
+        // Figure 4's merge: a[0..k] = aLess, a[k..] = aGreaterEq.
+        let rep = spmd(&Machine::real(4), |cx| {
+            let part = cx.task_partition(&[("lo", Size::Procs(2)), ("hi", Size::Rest)]);
+            let glo = part.group("lo");
+            let ghi = part.group("hi");
+            let less: Vec<i32> = vec![1, 2, 3];
+            let geq: Vec<i32> = vec![7, 8, 9, 10];
+            let a_less = DArray1::from_global(cx, &glo, Dist1::Block, &less);
+            let a_geq = DArray1::from_global(cx, &ghi, Dist1::Block, &geq);
+            let g = cx.group();
+            let mut a = DArray1::new(cx, &g, 7, Dist1::Block, 0i32);
+            copy_remap1_range(cx, &mut a, 0..3, &a_less, |i| i, Participation::Minimal);
+            copy_remap1_range(cx, &mut a, 3..7, &a_geq, |i| i - 3, Participation::Minimal);
+            a.to_global(cx)
+        });
+        for r in rep.results {
+            assert_eq!(r, vec![1, 2, 3, 7, 8, 9, 10]);
+        }
+    }
+
+    #[test]
+    fn assign2_redistribution_and_cross_group() {
+        let rep = spmd(&Machine::real(6), |cx| {
+            let part = cx.task_partition(&[("g1", Size::Procs(2)), ("g2", Size::Rest)]);
+            let g1 = part.group("g1");
+            let g2 = part.group("g2");
+            let data: Vec<u64> = (0..20).collect(); // 4x5
+            let src = DArray2::from_global(cx, &g1, [4, 5], (Dist::Star, Dist::Block), &data);
+            let mut dst = DArray2::new(cx, &g2, [4, 5], (Dist::Block, Dist::Star), 0u64);
+            assign2(cx, &mut dst, &src);
+            dst.fold_owned(0u64, |acc, r, c, v| {
+                assert_eq!(v, (r * 5 + c) as u64);
+                acc + v
+            })
+        });
+        let total: u64 = rep.results.iter().sum();
+        assert_eq!(total, (0..20).sum());
+    }
+
+    #[test]
+    fn transpose2_matches_reference() {
+        let rep = spmd(&Machine::real(4), |cx| {
+            let g = cx.group();
+            let data: Vec<i64> = (0..12).collect(); // 3x4
+            let src = DArray2::from_global(cx, &g, [3, 4], (Dist::Block, Dist::Star), &data);
+            let mut dst = DArray2::new(cx, &g, [4, 3], (Dist::Block, Dist::Star), 0i64);
+            transpose2(cx, &mut dst, &src);
+            dst.to_global(cx)
+        });
+        let mut expect = vec![0i64; 12];
+        for r in 0..4 {
+            for c in 0..3 {
+                expect[r * 3 + c] = (c * 4 + r) as i64;
+            }
+        }
+        assert_eq!(rep.results[0], expect);
+    }
+
+    #[test]
+    fn minimal_participation_lets_outsiders_skip_in_virtual_time() {
+        use fx_core::MachineModel;
+        // Three groups; an assignment between g1 and g2 must not delay g3.
+        let rep = spmd(&Machine::simulated(3, MachineModel::paragon()), |cx| {
+            let part = cx.task_partition(&[
+                ("g1", Size::Procs(1)),
+                ("g2", Size::Procs(1)),
+                ("g3", Size::Rest),
+            ]);
+            let g1 = part.group("g1");
+            let g2 = part.group("g2");
+            // g1 does heavy work first, so the assignment finishes late.
+            cx.task_region(&part, |cx, tr| {
+                tr.on(cx, "g1", |cx| cx.charge_seconds(5.0));
+                let data = vec![1u8; 100];
+                let src = DArray1::from_global(cx, &g1, Dist1::Block, &data);
+                let mut dst = DArray1::new(cx, &g2, 100, Dist1::Block, 0u8);
+                copy_remap1_range(cx, &mut dst, 0..100, &src, |i| i, Participation::Minimal);
+            });
+            cx.now()
+        });
+        assert!(rep.results[0] >= 5.0);
+        assert!(rep.results[1] >= 5.0, "receiver waits for sender: {}", rep.results[1]);
+        assert!(rep.results[2] < 1.0, "g3 should skip instantly, got {}", rep.results[2]);
+    }
+
+    #[test]
+    fn whole_group_participation_stalls_everyone() {
+        use fx_core::MachineModel;
+        let rep = spmd(&Machine::simulated(3, MachineModel::paragon()), |cx| {
+            let part = cx.task_partition(&[
+                ("g1", Size::Procs(1)),
+                ("g2", Size::Procs(1)),
+                ("g3", Size::Rest),
+            ]);
+            let g1 = part.group("g1");
+            let g2 = part.group("g2");
+            cx.task_region(&part, |cx, tr| {
+                tr.on(cx, "g1", |cx| cx.charge_seconds(5.0));
+                let data = vec![1u8; 100];
+                let src = DArray1::from_global(cx, &g1, Dist1::Block, &data);
+                let mut dst = DArray1::new(cx, &g2, 100, Dist1::Block, 0u8);
+                copy_remap1_range(cx, &mut dst, 0..100, &src, |i| i, Participation::WholeGroup);
+            });
+            cx.now()
+        });
+        assert!(rep.results[2] >= 5.0, "g3 must stall in WholeGroup mode, got {}", rep.results[2]);
+    }
+}

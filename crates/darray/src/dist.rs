@@ -1,0 +1,244 @@
+//! HPF data distributions and per-dimension index maps.
+//!
+//! Fx (like HPF) distributes each array dimension independently over one
+//! dimension of a processor grid. The supported per-dimension
+//! distributions are the HPF set the Fx compiler implements: `BLOCK`,
+//! `CYCLIC`, `CYCLIC(b)` (block-cyclic) — plus `*` (a dimension that is
+//! not distributed) and full replication for whole arrays.
+//!
+//! [`DimMap`] is the pure arithmetic core: a bijection between global
+//! indices `0..n` and `(processor coordinate, local index)` pairs. All
+//! communication-set generation in this crate is built from it, which is
+//! why it is tested to death (including property tests under `tests/`).
+
+/// Distribution of one array dimension over `q` processor-grid positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist {
+    /// Contiguous blocks of `ceil(n/q)` elements (HPF `BLOCK`).
+    Block,
+    /// Element `i` on processor `i mod q` (HPF `CYCLIC`).
+    Cyclic,
+    /// Blocks of `b` dealt round-robin (HPF `CYCLIC(b)`).
+    BlockCyclic(usize),
+    /// Dimension not distributed: every processor-grid position along this
+    /// axis holds the whole extent (HPF `*`).
+    Star,
+}
+
+/// The index map of one dimension: extent `n` distributed as `dist` over
+/// `q` grid positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimMap {
+    /// Extent of the dimension.
+    pub n: usize,
+    /// Grid positions the dimension is spread over.
+    pub q: usize,
+    /// The distribution rule.
+    pub dist: Dist,
+}
+
+impl DimMap {
+    /// Create a map; validates the distribution parameters.
+    pub fn new(n: usize, q: usize, dist: Dist) -> Self {
+        assert!(q >= 1, "need at least one grid position");
+        if let Dist::BlockCyclic(b) = dist {
+            assert!(b >= 1, "block-cyclic block size must be at least 1");
+        }
+        if dist == Dist::Star {
+            assert_eq!(q, 1, "a '*' dimension cannot be spread over {q} grid positions");
+        }
+        DimMap { n, q, dist }
+    }
+
+    /// HPF block size for `Block` (`ceil(n/q)`), or the parameter for
+    /// `BlockCyclic`.
+    fn block(&self) -> usize {
+        match self.dist {
+            Dist::Block => self.n.div_ceil(self.q).max(1),
+            Dist::BlockCyclic(b) => b,
+            Dist::Cyclic => 1,
+            Dist::Star => self.n.max(1),
+        }
+    }
+
+    /// Grid coordinate that owns global index `i`.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n, "index {i} out of bounds for extent {}", self.n);
+        match self.dist {
+            Dist::Star => 0,
+            Dist::Block => (i / self.block()).min(self.q - 1),
+            Dist::Cyclic => i % self.q,
+            Dist::BlockCyclic(b) => (i / b) % self.q,
+        }
+    }
+
+    /// Local index of global index `i` on its owner.
+    #[inline]
+    pub fn local_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        match self.dist {
+            Dist::Star => i,
+            Dist::Block => i - self.owner(i) * self.block(),
+            Dist::Cyclic => i / self.q,
+            Dist::BlockCyclic(b) => (i / (b * self.q)) * b + i % b,
+        }
+    }
+
+    /// Global index of local index `li` on grid coordinate `c`.
+    #[inline]
+    pub fn global_of(&self, c: usize, li: usize) -> usize {
+        debug_assert!(c < self.q);
+        match self.dist {
+            Dist::Star => li,
+            Dist::Block => c * self.block() + li,
+            Dist::Cyclic => li * self.q + c,
+            Dist::BlockCyclic(b) => (li / b) * b * self.q + c * b + li % b,
+        }
+    }
+
+    /// Number of elements grid coordinate `c` owns.
+    pub fn local_len(&self, c: usize) -> usize {
+        debug_assert!(c < self.q);
+        match self.dist {
+            Dist::Star => self.n,
+            Dist::Block => {
+                let b = self.block();
+                self.n.saturating_sub(c * b).min(b)
+            }
+            Dist::Cyclic => {
+                let (d, r) = (self.n / self.q, self.n % self.q);
+                d + usize::from(c < r)
+            }
+            Dist::BlockCyclic(b) => {
+                // Count indices i in 0..n with (i/b) % q == c. Blocks are
+                // size b except the last, which may be partial.
+                if self.n == 0 {
+                    return 0;
+                }
+                let nblocks = self.n.div_ceil(b);
+                if c >= nblocks {
+                    return 0;
+                }
+                let my_blocks = (nblocks - 1 - c) / self.q + 1;
+                let mut len = my_blocks * b;
+                if (nblocks - 1) % self.q == c {
+                    // I own the (possibly partial) last block.
+                    let last_size = self.n - (nblocks - 1) * b;
+                    len -= b - last_size;
+                }
+                len
+            }
+        }
+    }
+
+    /// Iterate the global indices owned by coordinate `c`, ascending.
+    pub fn owned_globals(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        let len = self.local_len(c);
+        (0..len).map(move |li| self.global_of(c, li))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bijection(m: DimMap) {
+        // Every global index maps to (owner, local) and back.
+        for i in 0..m.n {
+            let c = m.owner(i);
+            assert!(c < m.q, "owner({i}) = {c} out of range");
+            let li = m.local_of(i);
+            assert!(li < m.local_len(c), "local {li} >= len {} (i={i})", m.local_len(c));
+            assert_eq!(m.global_of(c, li), i, "roundtrip failed for i={i}");
+        }
+        // Lengths sum to n.
+        let total: usize = (0..m.q).map(|c| m.local_len(c)).sum();
+        assert_eq!(total, m.n);
+        // owned_globals is consistent with owner().
+        for c in 0..m.q {
+            for g in m.owned_globals(c) {
+                assert_eq!(m.owner(g), c);
+            }
+        }
+    }
+
+    #[test]
+    fn block_bijection_various_sizes() {
+        for n in [0, 1, 5, 16, 17, 100] {
+            for q in [1, 2, 3, 7, 16] {
+                check_bijection(DimMap::new(n, q, Dist::Block));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_bijection_various_sizes() {
+        for n in [0, 1, 5, 16, 17, 100] {
+            for q in [1, 2, 3, 7, 16] {
+                check_bijection(DimMap::new(n, q, Dist::Cyclic));
+            }
+        }
+    }
+
+    #[test]
+    fn block_cyclic_bijection_various_sizes() {
+        for n in [0, 1, 5, 16, 17, 100] {
+            for q in [1, 2, 3, 7] {
+                for b in [1, 2, 3, 5] {
+                    check_bijection(DimMap::new(n, q, Dist::BlockCyclic(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_owns_everything_on_single_coord() {
+        let m = DimMap::new(10, 1, Dist::Star);
+        check_bijection(m);
+        assert_eq!(m.local_len(0), 10);
+        assert_eq!(m.owner(7), 0);
+        assert_eq!(m.local_of(7), 7);
+    }
+
+    #[test]
+    fn block_layout_matches_hpf() {
+        // n=10, q=4: HPF block = ceil(10/4) = 3 → owners 0001112223? no:
+        // blocks [0..3) [3..6) [6..9) [9..10).
+        let m = DimMap::new(10, 4, Dist::Block);
+        let owners: Vec<usize> = (0..10).map(|i| m.owner(i)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        assert_eq!(m.local_len(3), 1);
+    }
+
+    #[test]
+    fn cyclic_layout_matches_hpf() {
+        let m = DimMap::new(7, 3, Dist::Cyclic);
+        let owners: Vec<usize> = (0..7).map(|i| m.owner(i)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(m.local_len(0), 3);
+        assert_eq!(m.local_len(2), 2);
+    }
+
+    #[test]
+    fn block_cyclic_layout_matches_hpf() {
+        // CYCLIC(2) over q=2, n=8: blocks [01][23][45][67] → 0,0,1,1,0,0,1,1.
+        let m = DimMap::new(8, 2, Dist::BlockCyclic(2));
+        let owners: Vec<usize> = (0..8).map(|i| m.owner(i)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        assert_eq!(m.local_of(4), 2);
+        assert_eq!(m.local_of(5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "'*' dimension")]
+    fn star_over_many_coords_rejected() {
+        DimMap::new(10, 2, Dist::Star);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_block_cyclic_rejected() {
+        DimMap::new(10, 2, Dist::BlockCyclic(0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Halo (ghost-region) exchange for row-blocked matrices.
+//!
+//! Window-sum and stencil kernels (the multibaseline-stereo error images,
+//! the Airshed transport step) need a few rows owned by the neighbouring
+//! processor. This is the standard nearest-neighbour exchange, scoped —
+//! like all communication — to the array's group.
+
+use fx_core::Cx;
+
+use crate::array1::Elem;
+use crate::array2::DArray2;
+use crate::dist::Dist;
+
+/// Ghost rows received from the neighbours above and below this
+/// processor's block of rows. Row-major, `width x local_cols` each; empty
+/// at the matrix edges.
+#[derive(Debug, Clone)]
+pub struct RowHalo<T> {
+    /// Ghost rows from the neighbour above (empty at the top edge).
+    pub top: Vec<T>,
+    /// Ghost rows from the neighbour below (empty at the bottom edge).
+    pub bottom: Vec<T>,
+}
+
+/// Exchange `width` ghost rows between vertical neighbours of a
+/// `(BLOCK, *)`-distributed matrix.
+///
+/// Collective over the array's group; the caller's current group must be
+/// that group (call it inside the owning `ON SUBGROUP` block). Every
+/// member must own at least `width` rows.
+pub fn exchange_row_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> RowHalo<T> {
+    assert_eq!(
+        cx.group().gid(),
+        a.group().gid(),
+        "halo exchange is a collective over the array's group"
+    );
+    assert_eq!(a.dist().0, Dist::Block, "row halo needs a (BLOCK, *) distribution");
+    assert_eq!(a.dist().1, Dist::Star, "row halo needs a (BLOCK, *) distribution");
+    let tag = cx.next_op_tag();
+    let me = cx.id();
+    let (lr, lc) = a.local_dims();
+    // Members owning no rows (more processors than row blocks) sit out;
+    // with a BLOCK distribution they are always at the bottom, so row
+    // adjacency below is well-defined without them.
+    assert!(
+        lr == 0 || lr >= width,
+        "processor {me} owns {lr} rows, fewer than the halo width {width}"
+    );
+    if lr == 0 {
+        return RowHalo { top: Vec::new(), bottom: Vec::new() };
+    }
+    let first_row = a.global_of_local(0, 0).0;
+    let last_row = a.global_of_local(lr - 1, 0).0;
+    let up_exists = first_row > 0;
+    let down_exists = last_row + 1 < a.rows();
+
+    // Deposit sends first (non-blocking), then receive.
+    if up_exists {
+        let mut buf = Vec::with_capacity(width * lc);
+        for r in 0..width {
+            buf.extend_from_slice(a.local_row(r));
+        }
+        cx.send_v(me - 1, tag, buf);
+    }
+    if down_exists {
+        let mut buf = Vec::with_capacity(width * lc);
+        for r in lr - width..lr {
+            buf.extend_from_slice(a.local_row(r));
+        }
+        cx.send_v(me + 1, tag, buf);
+    }
+    let top = if up_exists { cx.recv_v(me - 1, tag) } else { Vec::new() };
+    let bottom = if down_exists { cx.recv_v(me + 1, tag) } else { Vec::new() };
+    RowHalo { top, bottom }
+}
+
+/// Ghost columns received from the left/right neighbours of a
+/// `(*, BLOCK)`-distributed matrix. Row-major `local_rows x width` each;
+/// empty at the matrix edges.
+#[derive(Debug, Clone)]
+pub struct ColHalo<T> {
+    /// Ghost columns from the left neighbour (empty at the left edge).
+    pub left: Vec<T>,
+    /// Ghost columns from the right neighbour (empty at the right edge).
+    pub right: Vec<T>,
+}
+
+/// Exchange `width` ghost columns between horizontal neighbours of a
+/// `(*, BLOCK)`-distributed matrix — the transposed twin of
+/// [`exchange_row_halo`].
+pub fn exchange_col_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> ColHalo<T> {
+    assert_eq!(
+        cx.group().gid(),
+        a.group().gid(),
+        "halo exchange is a collective over the array's group"
+    );
+    assert_eq!(a.dist().0, Dist::Star, "col halo needs a (*, BLOCK) distribution");
+    assert_eq!(a.dist().1, Dist::Block, "col halo needs a (*, BLOCK) distribution");
+    let tag = cx.next_op_tag();
+    let me = cx.id();
+    let (lr, lc) = a.local_dims();
+    assert!(
+        lc == 0 || lc >= width,
+        "processor {me} owns {lc} columns, fewer than the halo width {width}"
+    );
+    if lc == 0 {
+        return ColHalo { left: Vec::new(), right: Vec::new() };
+    }
+    let first_col = a.global_of_local(0, 0).1;
+    let last_col = a.global_of_local(0, lc - 1).1;
+    let left_exists = first_col > 0;
+    let right_exists = last_col + 1 < a.cols();
+
+    let pack_cols = |range: std::ops::Range<usize>| -> Vec<T> {
+        let mut buf = Vec::with_capacity(lr * width);
+        for r in 0..lr {
+            let row = a.local_row(r);
+            buf.extend_from_slice(&row[range.clone()]);
+        }
+        buf
+    };
+    if left_exists {
+        cx.send_v(me - 1, tag, pack_cols(0..width));
+    }
+    if right_exists {
+        cx.send_v(me + 1, tag, pack_cols(lc - width..lc));
+    }
+    let left = if left_exists { cx.recv_v(me - 1, tag) } else { Vec::new() };
+    let right = if right_exists { cx.recv_v(me + 1, tag) } else { Vec::new() };
+    ColHalo { left, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array2::DArray2;
+    use fx_core::{spmd, Machine};
+
+    #[test]
+    fn halo_rows_match_neighbours() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            let g = cx.group();
+            let data: Vec<u32> = (0..36).collect(); // 9x4, 3 rows each
+            let a = DArray2::from_global(cx, &g, [9, 4], (Dist::Block, Dist::Star), &data);
+            let h = exchange_row_halo(cx, &a, 1);
+            (h.top, h.bottom)
+        });
+        // Proc 0: rows 0-2. Top empty; bottom = row 3.
+        assert_eq!(rep.results[0].0, Vec::<u32>::new());
+        assert_eq!(rep.results[0].1, vec![12, 13, 14, 15]);
+        // Proc 1: rows 3-5. Top = row 2, bottom = row 6.
+        assert_eq!(rep.results[1].0, vec![8, 9, 10, 11]);
+        assert_eq!(rep.results[1].1, vec![24, 25, 26, 27]);
+        // Proc 2: rows 6-8. Top = row 5; bottom empty.
+        assert_eq!(rep.results[2].0, vec![20, 21, 22, 23]);
+        assert_eq!(rep.results[2].1, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn halo_width_two() {
+        let rep = spmd(&Machine::real(2), |cx| {
+            let g = cx.group();
+            let data: Vec<u16> = (0..16).collect(); // 8x2, 4 rows each
+            let a = DArray2::from_global(cx, &g, [8, 2], (Dist::Block, Dist::Star), &data);
+            let h = exchange_row_halo(cx, &a, 2);
+            (h.top, h.bottom)
+        });
+        assert_eq!(rep.results[0].1, vec![8, 9, 10, 11]); // rows 4,5
+        assert_eq!(rep.results[1].0, vec![4, 5, 6, 7]); // rows 2,3
+    }
+
+    #[test]
+    fn single_proc_halo_is_empty() {
+        let rep = spmd(&Machine::real(1), |cx| {
+            let g = cx.group();
+            let a = DArray2::new(cx, &g, [4, 4], (Dist::Block, Dist::Star), 0u8);
+            let h = exchange_row_halo(cx, &a, 1);
+            (h.top.len(), h.bottom.len())
+        });
+        assert_eq!(rep.results[0], (0, 0));
+    }
+
+    #[test]
+    fn col_halo_matches_neighbours() {
+        let rep = spmd(&Machine::real(3), |cx| {
+            let g = cx.group();
+            let data: Vec<u32> = (0..18).collect(); // 2x9, 3 cols each
+            let a = DArray2::from_global(cx, &g, [2, 9], (Dist::Star, Dist::Block), &data);
+            let h = exchange_col_halo(cx, &a, 1);
+            (h.left, h.right)
+        });
+        // Proc 1 owns cols 3-5; left halo = col 2, right halo = col 6.
+        assert_eq!(rep.results[1].0, vec![2, 11]);
+        assert_eq!(rep.results[1].1, vec![6, 15]);
+        assert_eq!(rep.results[0].0, Vec::<u32>::new());
+        assert_eq!(rep.results[2].1, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn col_halo_width_two() {
+        let rep = spmd(&Machine::real(2), |cx| {
+            let g = cx.group();
+            let data: Vec<u16> = (0..16).collect(); // 2x8, 4 cols each
+            let a = DArray2::from_global(cx, &g, [2, 8], (Dist::Star, Dist::Block), &data);
+            let h = exchange_col_halo(cx, &a, 2);
+            (h.left, h.right)
+        });
+        // Proc 0 right halo: cols 4,5 of rows 0,1 → [4,5,12,13].
+        assert_eq!(rep.results[0].1, vec![4, 5, 12, 13]);
+        assert_eq!(rep.results[1].0, vec![2, 3, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than the halo width")]
+    fn too_wide_halo_panics() {
+        spmd(&Machine::real(4), |cx| {
+            let g = cx.group();
+            let a = DArray2::new(cx, &g, [4, 4], (Dist::Block, Dist::Star), 0u8);
+            exchange_row_halo(cx, &a, 2);
+        });
+    }
+}

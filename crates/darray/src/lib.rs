@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # fx-darray — HPF-style distributed arrays over processor subgroups
+//!
+//! The data-parallel substrate of the Fx model (Subhlok & Yang,
+//! PPoPP '97). Arrays are *mapped onto a processor group* — the paper's
+//! `SUBGROUP(g) :: a` — and *distributed* within it with the HPF
+//! distributions Fx supports (`BLOCK`, `CYCLIC`, `CYCLIC(b)`, `*`,
+//! replication). Every processor in scope can hold the descriptor; only
+//! group members hold elements, which is what lets parent-scope statements
+//! plan communication while everyone else skips.
+//!
+//! Key operations:
+//!
+//! * [`assign1`] / [`assign2`] / [`copy_remap1`] / [`copy_remap2`] — the
+//!   parent-scope array assignment `A2 = A1` between arbitrary
+//!   distributions and (sub)groups, with the paper's minimal-processor-
+//!   subset participation (see [`Participation`]);
+//! * [`transpose2`] — the distributed corner turn;
+//! * [`exchange_row_halo`] — ghost rows for window/stencil kernels;
+//! * [`repartition_by`] / [`count_matching`] — predicate splits onto
+//!   subgroups (quicksort, Barnes-Hut);
+//! * owner-computes iteration (`for_each_owned`) and reassembly
+//!   (`to_global`) on the array types themselves.
+
+mod array1;
+mod array2;
+mod array3;
+mod assign;
+mod dist;
+mod halo;
+mod intrinsics;
+mod pack;
+mod rootio;
+
+pub use array1::{DArray1, Dist1, Elem, OwnerSet};
+pub use array2::{DArray2, Dist2};
+pub use array3::{assign3, exchange_plane_halo, DArray3, Dist3, PlaneHalo};
+pub use assign::{
+    assign1, assign2, copy_remap1, copy_remap1_range, copy_remap2, copy_remap2_with,
+    transpose2, Participation,
+};
+pub use dist::{DimMap, Dist};
+pub use halo::{exchange_col_halo, exchange_row_halo, ColHalo, RowHalo};
+pub use intrinsics::{cshift1, eoshift1, max1, min1, sum1, sum2, sum_along_cols, sum_along_rows};
+pub use pack::{count_matching, repartition_by};
+pub use rootio::{gather_to_root1, gather_to_root2, scatter_from_root1};

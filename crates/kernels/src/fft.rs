@@ -1,0 +1,317 @@
+//! One-dimensional fast Fourier transforms.
+//!
+//! Radix-2 iterative Cooley–Tukey, plus an O(n²) direct DFT used as the
+//! test oracle. The FFT-Hist, radar and stereo applications call these on
+//! the rows/columns they own; [`fft_flops`] is the standard operation
+//! count the simulator charges for one transform.
+
+use crate::complex::Complex;
+
+/// In-place radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` computes the unscaled inverse transform; callers divide by
+/// `n` themselves if they need the unitary roundtrip.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT returning a new vector.
+pub fn fft(data: &[Complex]) -> Vec<Complex> {
+    let mut v = data.to_vec();
+    fft_in_place(&mut v, false);
+    v
+}
+
+/// Unitary inverse FFT returning a new vector (scaled by `1/n`).
+pub fn ifft(data: &[Complex]) -> Vec<Complex> {
+    let mut v = data.to_vec();
+    fft_in_place(&mut v, true);
+    let scale = 1.0 / v.len() as f64;
+    for z in &mut v {
+        *z = z.scale(scale);
+    }
+    v
+}
+
+/// FFT of **any** length via Bluestein's chirp-z algorithm (arbitrary-n
+/// DFT as a convolution evaluated with power-of-two FFTs). Lets the
+/// radar pipeline use the paper's exact 40-pulse (10 dwells × 4
+/// channels) Doppler transform instead of padding to a power of two.
+pub fn fft_any(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    if n <= 1 {
+        return data.to_vec();
+    }
+    if n.is_power_of_two() {
+        let mut v = data.to_vec();
+        fft_in_place(&mut v, inverse);
+        return v;
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp w_k = e^{sign * i * pi * k^2 / n}; X_k = conj-chirped
+    // convolution of (x_k * chirp_k) with conj(chirp).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k^2 mod 2n avoids precision loss for large k.
+            let k2 = (k * k) % (2 * n);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        if k != 0 {
+            b[m - k] = c;
+        }
+    }
+    fft_in_place(&mut a, false);
+    fft_in_place(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    fft_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect()
+}
+
+/// Flop count for an arbitrary-length FFT: three power-of-two FFTs of
+/// the padded length plus the chirp multiplications.
+pub fn fft_any_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    if n.is_power_of_two() {
+        return fft_flops(n);
+    }
+    let m = (2 * n - 1).next_power_of_two();
+    3.0 * fft_flops(m) + 12.0 * n as f64
+}
+
+/// Direct O(n²) DFT — the oracle for FFT tests. Any length.
+pub fn dft_reference(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * Complex::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Floating point operations of one radix-2 FFT of length `n`
+/// (the conventional `5 n log2 n` count).
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// Sequential 2-D FFT of a row-major `rows x cols` matrix: columns first,
+/// then rows (the FFT-Hist order). Used as the oracle for the distributed
+/// pipeline. Both dimensions must be powers of two.
+pub fn fft2d_reference(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(data.len(), rows * cols);
+    let mut m = data.to_vec();
+    // Column FFTs.
+    let mut col = vec![Complex::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = m[r * cols + c];
+        }
+        fft_in_place(&mut col, false);
+        for r in 0..rows {
+            m[r * cols + c] = col[r];
+        }
+    }
+    // Row FFTs.
+    for r in 0..rows {
+        fft_in_place(&mut m[r * cols..(r + 1) * cols], false);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_vec(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, tol))
+    }
+
+    #[test]
+    fn impulse_transforms_to_ones() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let y = fft(&x);
+        assert!(y.iter().all(|z| z.approx_eq(Complex::ONE, 1e-12)));
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let x = vec![Complex::ONE; 16];
+        let y = fft(&x);
+        assert!(y[0].approx_eq(Complex::new(16.0, 0.0), 1e-9));
+        assert!(y[1..].iter().all(|z| z.approx_eq(Complex::ZERO, 1e-9)));
+    }
+
+    #[test]
+    fn matches_dft_reference() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let fast = fft(&x);
+            let slow = dft_reference(&x, false);
+            assert!(approx_vec(&fast, &slow, 1e-6), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Complex> =
+            (0..64).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let y = ifft(&fft(&x));
+        assert!(approx_vec(&x, &y, 1e-9));
+    }
+
+    #[test]
+    fn single_frequency_peaks_in_right_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, z) in y.iter().enumerate() {
+            if k == k0 {
+                assert!(z.approx_eq(Complex::new(n as f64, 0.0), 1e-9));
+            } else {
+                assert!(z.abs() < 1e-9, "leak at bin {k}: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_dft_for_awkward_lengths() {
+        for n in [3usize, 5, 7, 12, 40, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()))
+                .collect();
+            let fast = fft_any(&x, false);
+            let slow = dft_reference(&x, false);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(a.approx_eq(*b, 1e-7 * n as f64), "n={n}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_power_of_two_path_agrees_with_radix2() {
+        let x: Vec<Complex> =
+            (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        assert_eq!(fft_any(&x, false), fft(&x));
+    }
+
+    #[test]
+    fn bluestein_inverse_roundtrips() {
+        let n = 40; // the radar's 10 dwells x 4 channels
+        let x: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+        let y = fft_any(&x, false);
+        let back: Vec<Complex> =
+            fft_any(&y, true).into_iter().map(|z| z.scale(1.0 / n as f64)).collect();
+        for (a, b) in x.iter().zip(&back) {
+            assert!(a.approx_eq(*b, 1e-8), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fft_any_flops_reasonable() {
+        assert_eq!(fft_any_flops(16), fft_flops(16));
+        assert!(fft_any_flops(40) > fft_flops(64));
+        assert_eq!(fft_any_flops(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_in_place(&mut x, false);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(fft_flops(1), 0.0);
+        assert_eq!(fft_flops(8), 5.0 * 8.0 * 3.0);
+    }
+
+    #[test]
+    fn fft2d_matches_separable_reference() {
+        let rows = 4;
+        let cols = 8;
+        let data: Vec<Complex> = (0..rows * cols)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let got = fft2d_reference(&data, rows, cols);
+        // Independent check: full 2-D DFT.
+        let mut expect = vec![Complex::ZERO; rows * cols];
+        for kr in 0..rows {
+            for kc in 0..cols {
+                let mut acc = Complex::ZERO;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let ang = -2.0 * std::f64::consts::PI
+                            * ((kr * r) as f64 / rows as f64 + (kc * c) as f64 / cols as f64);
+                        acc += data[r * cols + c] * Complex::cis(ang);
+                    }
+                }
+                expect[kr * cols + kc] = acc;
+            }
+        }
+        assert!(approx_vec(&got, &expect, 1e-6));
+    }
+}

@@ -1,0 +1,145 @@
+//! Synthetic workload generators.
+//!
+//! The paper's inputs were physical sensor streams (MIT/LL radar data,
+//! CMU camera images) and meteorological data; none are available, and
+//! every kernel here is data-oblivious — only shapes and volumes affect
+//! performance — so deterministic pseudo-random inputs with the paper's
+//! data-set dimensions are faithful substitutes (see DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::complex::Complex;
+use crate::nbody::Body;
+
+/// A stream of complex images for FFT-Hist (`n x n` each).
+pub fn complex_image(n: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * n)
+        .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+/// One narrowband radar data cube flattened to a `dwell x range` complex
+/// matrix (the paper's 512x10x4 data sets: 512 range gates, 10 dwells,
+/// 4 channels → processed as matrices after the corner turn).
+pub fn radar_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols)
+        .map(|i| {
+            // A couple of synthetic targets over noise, so thresholding
+            // detects something meaningful.
+            let noise = Complex::new(rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1));
+            if i % 97 == 0 {
+                noise + Complex::new(2.0, 0.0)
+            } else {
+                noise
+            }
+        })
+        .collect()
+}
+
+/// A grey-level image of the given size (multibaseline stereo input).
+pub fn grey_image(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.gen_range(0.0f32..255.0)).collect()
+}
+
+/// A stereo triple: reference image plus `n_match` images shifted by a
+/// known per-pixel disparity field (smoothly varying), so the recovered
+/// depth is verifiable.
+pub fn stereo_set(
+    rows: usize,
+    cols: usize,
+    n_match: usize,
+    max_disp: usize,
+    seed: u64,
+) -> (Vec<f32>, Vec<Vec<f32>>, Vec<u16>) {
+    let reference = grey_image(rows, cols, seed);
+    // Smooth, known disparity field.
+    let truth: Vec<u16> = (0..rows * cols)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            (((r + c) / 8) % max_disp) as u16
+        })
+        .collect();
+    let matches: Vec<Vec<f32>> = (1..=n_match)
+        .map(|m| {
+            let mut img = vec![0f32; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    // Camera m sees the scene shifted by m * disparity.
+                    let sc = (c + m * truth[r * cols + c] as usize).min(cols - 1);
+                    img[r * cols + c] = reference[r * cols + sc];
+                }
+            }
+            img
+        })
+        .collect();
+    (reference, matches, truth)
+}
+
+/// A uniform random particle cloud in the unit cube (Barnes-Hut input).
+pub fn particle_cloud(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Body {
+            pos: [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)],
+            mass: rng.gen_range(0.5..1.5),
+        })
+        .collect()
+}
+
+/// An Airshed concentration matrix: `layers x gridpoints x species`
+/// (typical values 5 x 500-5000 x 35), flattened with gridpoints as the
+/// leading (distributed) dimension.
+pub fn airshed_concentrations(layers: usize, gridpoints: usize, species: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..layers * gridpoints * species).map(|_| rng.gen_range(0.0..1e-3)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(complex_image(8, 42), complex_image(8, 42));
+        assert_eq!(grey_image(4, 4, 7), grey_image(4, 4, 7));
+        assert_ne!(complex_image(8, 1), complex_image(8, 2));
+    }
+
+    #[test]
+    fn shapes_are_right() {
+        assert_eq!(complex_image(16, 0).len(), 256);
+        assert_eq!(radar_matrix(10, 512, 0).len(), 5120);
+        assert_eq!(particle_cloud(33, 0).len(), 33);
+        assert_eq!(airshed_concentrations(5, 100, 35, 0).len(), 17500);
+    }
+
+    #[test]
+    fn stereo_truth_is_recoverable_at_zero_window() {
+        // With noiseless synthetic shifts, per-pixel SSD at the true
+        // disparity is exactly zero away from the clamped right edge.
+        let (reference, matches, truth) = stereo_set(16, 32, 2, 4, 3);
+        for r in 0..16 {
+            for c in 0..16 {
+                // well away from the edge
+                let p = r * 32 + c;
+                let d = truth[p] as usize;
+                for (mi, m) in matches.iter().enumerate() {
+                    let shifted = crate::image::shift_columns(m, 16, 32, 0); // m as-is
+                    let expect = reference[r * 32 + (c + (mi + 1) * d).min(31)];
+                    assert_eq!(shifted[p], expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radar_has_targets_above_noise() {
+        let m = radar_matrix(10, 512, 9);
+        let strong = m.iter().filter(|z| z.abs() > 1.0).count();
+        assert!(strong > 10, "expected synthetic targets, found {strong}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Histogram kernel — the `hist` stage of FFT-Hist.
+//!
+//! The stage computes a magnitude histogram of a transformed image. Local
+//! counts from each processor are combined with an element-wise vector
+//! add (a group reduce in the distributed version).
+
+use crate::complex::Complex;
+
+/// Histogram of `|z|` over `nbins` equal bins in `[0, max_mag)`; values at
+/// or above `max_mag` land in the last bin.
+pub fn histogram_magnitudes(data: &[Complex], nbins: usize, max_mag: f64) -> Vec<u64> {
+    assert!(nbins >= 1, "need at least one bin");
+    assert!(max_mag > 0.0, "max_mag must be positive");
+    let mut bins = vec![0u64; nbins];
+    let scale = nbins as f64 / max_mag;
+    for z in data {
+        let b = ((z.abs() * scale) as usize).min(nbins - 1);
+        bins[b] += 1;
+    }
+    bins
+}
+
+/// Element-wise accumulation used to combine partial histograms.
+pub fn merge_histograms(a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "histogram size mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Flops charged per element for the histogram stage (one multiply, one
+/// square root path approximated, one compare).
+pub fn hist_flops(n_elems: usize) -> f64 {
+    8.0 * n_elems as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_count_correctly() {
+        let data = vec![
+            Complex::new(0.5, 0.0),  // |z| = 0.5 → bin 0
+            Complex::new(0.0, 1.5),  // 1.5 → bin 1
+            Complex::new(3.0, 4.0),  // 5.0 → clamps to last bin
+            Complex::new(0.9, 0.0),  // bin 0
+        ];
+        let h = histogram_magnitudes(&data, 4, 4.0);
+        assert_eq!(h, vec![2, 1, 0, 1]);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = vec![1, 2, 3];
+        merge_histograms(&mut a, &[10, 20, 30]);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn total_count_is_preserved_across_splits() {
+        let data: Vec<Complex> =
+            (0..100).map(|i| Complex::new(i as f64 * 0.1, 0.0)).collect();
+        let whole = histogram_magnitudes(&data, 16, 10.0);
+        let mut merged = histogram_magnitudes(&data[..37], 16, 10.0);
+        merge_histograms(&mut merged, &histogram_magnitudes(&data[37..], 16, 10.0));
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        histogram_magnitudes(&[], 0, 1.0);
+    }
+}

@@ -1,0 +1,484 @@
+//! Barnes-Hut tree math (paper §5.3, Figure 7).
+//!
+//! The paper's variant builds a *balanced binary tree* of cells by evenly
+//! partitioning the particles along each axis in turn (x, y, z, x, …) —
+//! partitioning "very similar to the partitioning in quicksort". Forces
+//! are computed with the standard multipole acceptance criterion (MAC);
+//! a traversal that needs to open a subtree marked **remote** (not present
+//! in this processor's partial copy) aborts and reports it, so the caller
+//! can put the particle on the worklist passed up to the parent subgroup.
+//!
+//! Everything here is sequential; `fx-apps::barnes_hut` layers the
+//! recursive processor subdivision, the top-`k`-level replication and the
+//! worklist protocol on top.
+
+/// A point mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position in space.
+    pub pos: [f64; 3],
+    /// Mass (G = 1 units).
+    pub mass: f64,
+}
+
+/// One cell of the balanced Barnes-Hut tree.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Centre of mass of the cell's particles.
+    pub com: [f64; 3],
+    /// Total mass.
+    pub mass: f64,
+    /// Radius of the bounding sphere around `com`.
+    pub radius: f64,
+    /// Range of (sorted) particle indices covered: `start .. start + len`.
+    pub start: usize,
+    /// Number of particles in the cell.
+    pub len: usize,
+    /// Child node indices; `None` for leaves *and* for remote stubs.
+    pub children: Option<(usize, usize)>,
+    /// True when the cell's subtree exists on another processor only: the
+    /// summary (com/mass/radius) is valid but the cell cannot be opened.
+    pub remote: bool,
+}
+
+/// A balanced Barnes-Hut tree over a set of particles.
+///
+/// `bodies` are stored in tree order (the order produced by the recursive
+/// median partitioning), mirroring the paper's note that "the particles
+/// will be sorted based on the ordering of the leaves".
+#[derive(Debug, Clone, Default)]
+pub struct BhTree {
+    /// All cells; children are indices into this vector.
+    pub nodes: Vec<Node>,
+    /// Particles in tree (leaf) order.
+    pub bodies: Vec<Body>,
+    /// `order[i]` is the *original* index of tree-ordered body `i`
+    /// (the build sorts bodies by leaf order; integrators use this to map
+    /// forces back to input order).
+    pub order: Vec<usize>,
+    /// Index of the root node (0 unless the tree is empty).
+    pub root: usize,
+}
+
+impl BhTree {
+    /// Build the tree by recursive median splits along cycling axes
+    /// (`build_bh_tree` of Figure 7).
+    pub fn build(bodies: Vec<Body>) -> BhTree {
+        let mut tagged: Vec<(Body, usize)> =
+            bodies.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let mut nodes = Vec::new();
+        if tagged.is_empty() {
+            return BhTree { nodes, bodies: Vec::new(), order: Vec::new(), root: 0 };
+        }
+        let n = tagged.len();
+        let root = build_rec(&mut tagged, 0, n, 0, &mut nodes);
+        let (bodies, order): (Vec<Body>, Vec<usize>) = tagged.into_iter().unzip();
+        BhTree { nodes, bodies, order, root }
+    }
+
+    /// Number of particles.
+    pub fn n_bodies(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Compute the acceleration on a particle at `pos` using opening angle
+    /// `theta` and Plummer softening `eps`.
+    ///
+    /// Returns `None` if the traversal needed to open a remote cell — the
+    /// particle must go on the worklist for a processor with a fuller tree.
+    pub fn force_at(&self, pos: [f64; 3], theta: f64, eps: f64) -> Option<[f64; 3]> {
+        self.force_at_counting(pos, theta, eps).0
+    }
+
+    /// Like [`BhTree::force_at`] but also reports the number of cells
+    /// visited, which the simulator charges as interaction work.
+    pub fn force_at_counting(
+        &self,
+        pos: [f64; 3],
+        theta: f64,
+        eps: f64,
+    ) -> (Option<[f64; 3]>, usize) {
+        if self.nodes.is_empty() {
+            return (Some([0.0; 3]), 0);
+        }
+        let mut acc = [0.0f64; 3];
+        let mut visits = 0usize;
+        if self.force_rec(self.root, pos, theta, eps, &mut acc, &mut visits) {
+            (Some(acc), visits)
+        } else {
+            (None, visits)
+        }
+    }
+
+    fn force_rec(
+        &self,
+        idx: usize,
+        pos: [f64; 3],
+        theta: f64,
+        eps: f64,
+        acc: &mut [f64; 3],
+        visits: &mut usize,
+    ) -> bool {
+        *visits += 1;
+        let node = &self.nodes[idx];
+        let d = dist(pos, node.com);
+        let is_leaf_like = node.children.is_none() && !node.remote;
+        // MAC: the cell is far enough that its monopole suffices.
+        if is_leaf_like || d > node.radius / theta {
+            if d > 0.0 || eps > 0.0 {
+                add_gravity(pos, node.com, node.mass, eps, acc);
+            }
+            return true;
+        }
+        match node.children {
+            Some((l, r)) => {
+                self.force_rec(l, pos, theta, eps, acc, visits)
+                    && self.force_rec(r, pos, theta, eps, acc, visits)
+            }
+            // MAC failed on a remote stub: cannot resolve locally.
+            None => false,
+        }
+    }
+
+    /// Extract the partial tree for one half of the particle range
+    /// (`partition_bh_tree` of Figure 7): the top `k` levels are kept in
+    /// full, the subtree covering `lo..hi` is kept in full, and every
+    /// other internal cell becomes a *remote* summary stub.
+    pub fn split_range(&self, lo: usize, hi: usize, k: usize) -> BhTree {
+        let mut nodes = Vec::new();
+        if self.nodes.is_empty() {
+            return BhTree { nodes, bodies: Vec::new(), order: Vec::new(), root: 0 };
+        }
+        let root = self.split_rec(self.root, 0, k, lo, hi, &mut nodes);
+        // Bodies travel with the tree (force evaluation itself only needs
+        // node summaries; the bodies are kept for the caller's own range).
+        BhTree { nodes, bodies: self.bodies.clone(), order: self.order.clone(), root }
+    }
+
+    fn split_rec(
+        &self,
+        idx: usize,
+        depth: usize,
+        k: usize,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<Node>,
+    ) -> usize {
+        let node = self.nodes[idx];
+        let new_idx = out.len();
+        out.push(node); // placeholder; fixed up below
+        let overlaps = node.start < hi && node.start + node.len > lo;
+        let expand = node.children.is_some() && (depth < k || overlaps);
+        if expand {
+            let (l, r) = node.children.expect("checked above");
+            let li = self.split_rec(l, depth + 1, k, lo, hi, out);
+            let ri = self.split_rec(r, depth + 1, k, lo, hi, out);
+            out[new_idx].children = Some((li, ri));
+            out[new_idx].remote = false;
+        } else {
+            out[new_idx].children = None;
+            // An unexpanded internal cell is a remote summary; an
+            // unexpanded leaf is complete as-is. A cell that was already
+            // remote (splitting an existing partial tree) stays remote —
+            // otherwise it would masquerade as a leaf and skip the MAC.
+            out[new_idx].remote = node.children.is_some() || node.remote;
+        }
+        new_idx
+    }
+
+    /// Depth of the tree (root = level 0); for sizing the replication
+    /// parameter `k`.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match nodes[i].children {
+                None => 0,
+                Some((l, r)) => 1 + rec(nodes, l).max(rec(nodes, r)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, self.root)
+        }
+    }
+}
+
+fn build_rec(
+    bodies: &mut [(Body, usize)],
+    start: usize,
+    len: usize,
+    axis: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let slice = &mut bodies[start..start + len];
+    let (com, mass) = center_of_mass(slice);
+    let radius = slice
+        .iter()
+        .map(|(b, _)| dist(b.pos, com))
+        .fold(0.0f64, f64::max);
+    let idx = nodes.len();
+    nodes.push(Node { com, mass, radius, start, len, children: None, remote: false });
+    if len > 1 {
+        let mid = len / 2;
+        // Median split along the current axis (quicksort-style selection).
+        slice.select_nth_unstable_by(mid, |a, b| a.0.pos[axis].total_cmp(&b.0.pos[axis]));
+        let l = build_rec(bodies, start, mid, (axis + 1) % 3, nodes);
+        let r = build_rec(bodies, start + mid, len - mid, (axis + 1) % 3, nodes);
+        nodes[idx].children = Some((l, r));
+    }
+    idx
+}
+
+fn center_of_mass(bodies: &[(Body, usize)]) -> ([f64; 3], f64) {
+    // A single body's cell must sit *exactly* at the body: computing
+    // (m·p)/m instead would shift it by an ulp, and the softened
+    // self-interaction then contributes a spurious ~m/eps² force.
+    if let [(b, _)] = bodies {
+        return (b.pos, b.mass);
+    }
+    let mut m = 0.0;
+    let mut c = [0.0f64; 3];
+    for (b, _) in bodies {
+        m += b.mass;
+        for (ci, pi) in c.iter_mut().zip(b.pos) {
+            *ci += b.mass * pi;
+        }
+    }
+    if m > 0.0 {
+        for ci in &mut c {
+            *ci /= m;
+        }
+    }
+    (c, m)
+}
+
+/// Total energy of a configuration (kinetic from `velocities` plus
+/// softened pairwise potential) — the conservation check for
+/// integrators. O(n²); test-scale use only.
+pub fn total_energy(bodies: &[Body], velocities: &[[f64; 3]], eps: f64) -> f64 {
+    assert_eq!(bodies.len(), velocities.len());
+    let mut e = 0.0;
+    for (b, v) in bodies.iter().zip(velocities) {
+        e += 0.5 * b.mass * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+    }
+    for i in 0..bodies.len() {
+        for j in i + 1..bodies.len() {
+            let d2 = {
+                let dx = bodies[i].pos[0] - bodies[j].pos[0];
+                let dy = bodies[i].pos[1] - bodies[j].pos[1];
+                let dz = bodies[i].pos[2] - bodies[j].pos[2];
+                dx * dx + dy * dy + dz * dz + eps * eps
+            };
+            e -= bodies[i].mass * bodies[j].mass / d2.sqrt();
+        }
+    }
+    e
+}
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+/// Accumulate the (G = 1) gravitational acceleration exerted at `pos` by a
+/// mass `m` at `src`, with Plummer softening `eps`.
+fn add_gravity(pos: [f64; 3], src: [f64; 3], m: f64, eps: f64, acc: &mut [f64; 3]) {
+    let dx = src[0] - pos[0];
+    let dy = src[1] - pos[1];
+    let dz = src[2] - pos[2];
+    let r2 = dx * dx + dy * dy + dz * dz + eps * eps;
+    if r2 == 0.0 {
+        return; // exactly self, unsoftened: no self-force
+    }
+    let inv_r = 1.0 / r2.sqrt();
+    let f = m * inv_r * inv_r * inv_r;
+    acc[0] += f * dx;
+    acc[1] += f * dy;
+    acc[2] += f * dz;
+}
+
+/// Direct O(n²) force summation — the oracle for Barnes-Hut accuracy
+/// tests and the deepest recursion level of Figure 7.
+pub fn direct_forces(bodies: &[Body], eps: f64) -> Vec<[f64; 3]> {
+    bodies
+        .iter()
+        .map(|bi| {
+            let mut acc = [0.0f64; 3];
+            for bj in bodies {
+                if std::ptr::eq(bi, bj) {
+                    continue;
+                }
+                add_gravity(bi.pos, bj.pos, bj.mass, eps, &mut acc);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Flops of one body-body interaction (distance, inverse sqrt, accumulate).
+pub fn interaction_flops() -> f64 {
+    20.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Body> {
+        // Deterministic quasi-random cloud (no rand dependency needed here).
+        (0..n)
+            .map(|i| {
+                let h = |k: u64| {
+                    let mut z = seed.wrapping_add(i as u64).wrapping_mul(k);
+                    z ^= z >> 33;
+                    z = z.wrapping_mul(0xFF51AFD7ED558CCD);
+                    z ^= z >> 33;
+                    (z % 10_000) as f64 / 10_000.0
+                };
+                Body { pos: [h(0x9E3779B1), h(0x85EBCA77), h(0xC2B2AE3D)], mass: 1.0 + h(7) }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_is_balanced_and_covers_all_bodies() {
+        let t = BhTree::build(cloud(100, 1));
+        assert_eq!(t.n_bodies(), 100);
+        let root = &t.nodes[t.root];
+        assert_eq!((root.start, root.len), (0, 100));
+        // A balanced binary tree over 100 leaves has depth ceil(log2 100) = 7.
+        assert_eq!(t.depth(), 7);
+        // Leaves partition the index range exactly.
+        let mut leaf_cover = vec![0u32; 100];
+        for n in &t.nodes {
+            if n.children.is_none() {
+                assert_eq!(n.len, 1);
+                leaf_cover[n.start] += 1;
+            }
+        }
+        assert!(leaf_cover.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn com_and_mass_are_consistent_up_the_tree() {
+        let t = BhTree::build(cloud(64, 2));
+        for n in &t.nodes {
+            if let Some((l, r)) = n.children {
+                let (nl, nr) = (&t.nodes[l], &t.nodes[r]);
+                assert!((n.mass - nl.mass - nr.mass).abs() < 1e-9);
+                for d in 0..3 {
+                    let blended = (nl.com[d] * nl.mass + nr.com[d] * nr.mass) / n.mass;
+                    assert!((n.com[d] - blended).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bh_forces_approximate_direct_sum() {
+        let bodies = cloud(200, 3);
+        let t = BhTree::build(bodies.clone());
+        let exact = direct_forces(&t.bodies, 1e-3);
+        let mut max_rel = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut count = 0;
+        for (b, e) in t.bodies.iter().zip(&exact) {
+            let got = t.force_at(b.pos, 0.3, 1e-3).expect("full tree never bails");
+            let mag = (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt();
+            let err = ((got[0] - e[0]).powi(2) + (got[1] - e[1]).powi(2) + (got[2] - e[2]).powi(2))
+                .sqrt();
+            if mag > 1e-9 {
+                let rel = err / mag;
+                max_rel = max_rel.max(rel);
+                sum_sq += rel * rel;
+                count += 1;
+            }
+        }
+        let rms = (sum_sq / count as f64).sqrt();
+        // Monopole-only BH at theta = 0.3: a few percent RMS; individual
+        // particles with near-cancelling net forces can be worse.
+        assert!(rms < 0.02, "BH RMS error too large: {rms}");
+        assert!(max_rel < 0.15, "BH max error too large: {max_rel}");
+    }
+
+    #[test]
+    fn theta_zero_like_behaviour_is_exact() {
+        // Tiny theta forces opening every cell → exact (leaf-level) sums.
+        let bodies = cloud(32, 4);
+        let t = BhTree::build(bodies);
+        let exact = direct_forces(&t.bodies, 1e-3);
+        for (b, e) in t.bodies.iter().zip(&exact) {
+            let got = t.force_at(b.pos, 1e-9, 1e-3).unwrap();
+            for d in 0..3 {
+                assert!(
+                    (got[d] - e[d]).abs() < 1e-9,
+                    "axis {d}: got {} expected {} (diff {})",
+                    got[d],
+                    e[d],
+                    got[d] - e[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_keeps_own_half_and_stubs_other() {
+        let t = BhTree::build(cloud(64, 5));
+        let half = t.split_range(0, 32, 2);
+        // Summaries intact at the root.
+        assert!((half.nodes[half.root].mass - t.nodes[t.root].mass).abs() < 1e-12);
+        // Some remote stubs must exist, all outside [0, 32).
+        let stubs: Vec<&Node> = half.nodes.iter().filter(|n| n.remote).collect();
+        assert!(!stubs.is_empty());
+        for s in &stubs {
+            assert!(s.start >= 32, "stub covering own half");
+        }
+        // Every leaf of my half is present.
+        let mut covered = [false; 32];
+        for n in &half.nodes {
+            if n.children.is_none() && !n.remote && n.len == 1 && n.start < 32 {
+                covered[n.start] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "missing own-half leaves");
+    }
+
+    #[test]
+    fn partial_tree_bails_only_for_near_remote_cells() {
+        let bodies = cloud(128, 6);
+        let t = BhTree::build(bodies);
+        // Replicate 3 levels: stubs are ~1/8-of-the-cloud cells, so distant
+        // particles resolve locally while nearby ones must be passed up.
+        let half = t.split_range(0, 64, 3);
+        let mut bailed = 0;
+        let mut matched = 0;
+        for b in &t.bodies[0..64] {
+            match half.force_at(b.pos, 0.5, 1e-3) {
+                None => bailed += 1,
+                Some(got) => {
+                    let full = t.force_at(b.pos, 0.5, 1e-3).unwrap();
+                    for d in 0..3 {
+                        assert!((got[d] - full[d]).abs() < 1e-9);
+                    }
+                    matched += 1;
+                }
+            }
+        }
+        // Both outcomes occur for a random cloud: nearby particles need the
+        // other half opened, distant ones are satisfied by summaries.
+        assert!(bailed > 0, "expected some worklist particles");
+        assert!(matched > 0, "expected some locally-resolved particles");
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let t0 = BhTree::build(Vec::new());
+        assert_eq!(t0.force_at([0.0; 3], 0.5, 1e-3), Some([0.0; 3]));
+        let t1 = BhTree::build(vec![Body { pos: [1.0, 0.0, 0.0], mass: 2.0 }]);
+        assert_eq!(t1.depth(), 0);
+        let f = t1.force_at([0.0; 3], 0.5, 0.0).unwrap();
+        assert!((f[0] - 2.0).abs() < 1e-12); // m/r² toward +x
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the numeric kernels.
+
+use fx_kernels::complex::Complex;
+use fx_kernels::fft::{dft_reference, fft, fft_in_place, ifft};
+use fx_kernels::hist::{histogram_magnitudes, merge_histograms};
+use fx_kernels::image::{box_sum_cols_with_halo, box_sum_rows, window_sum_reference};
+use proptest::prelude::*;
+
+fn arb_signal(max_log: u32) -> impl Strategy<Value = Vec<Complex>> {
+    (0..=max_log).prop_flat_map(|log| {
+        let n = 1usize << log;
+        proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT agrees with the O(n²) DFT oracle.
+    #[test]
+    fn fft_matches_dft(x in arb_signal(7)) {
+        let fast = fft(&x);
+        let slow = dft_reference(&x, false);
+        let scale = x.iter().map(|z| z.abs()).sum::<f64>().max(1.0);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 * scale, "{a:?} vs {b:?}");
+            prop_assert!((a.im - b.im).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// ifft(fft(x)) == x.
+    #[test]
+    fn fft_roundtrip(x in arb_signal(8)) {
+        let y = ifft(&fft(&x));
+        let scale = x.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!(a.approx_eq(*b, 1e-9 * scale));
+        }
+    }
+
+    /// Linearity: FFT(a + b) == FFT(a) + FFT(b).
+    #[test]
+    fn fft_is_linear(pair in (0..=6u32).prop_flat_map(|log| {
+        let n = 1usize << log;
+        (proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), n),
+         proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), n))
+    })) {
+        let (a, b) = pair;
+        let a: Vec<Complex> = a.into_iter().map(|(re, im)| Complex::new(re, im)).collect();
+        let b: Vec<Complex> = b.into_iter().map(|(re, im)| Complex::new(re, im)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let lhs = fft(&sum);
+        let fa = fft(&a);
+        let fb = fft(&b);
+        for (l, (x, y)) in lhs.iter().zip(fa.iter().zip(&fb)) {
+            prop_assert!(l.approx_eq(*x + *y, 1e-7));
+        }
+    }
+
+    /// Parseval: sum |x|² == sum |X|² / n.
+    #[test]
+    fn fft_parseval(x in arb_signal(7)) {
+        let mut y = x.clone();
+        fft_in_place(&mut y, false);
+        let t_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let f_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len().max(1) as f64;
+        prop_assert!((t_energy - f_energy).abs() <= 1e-8 * t_energy.max(1.0));
+    }
+
+    /// Histogram totals always equal the element count, however split.
+    #[test]
+    fn histogram_total_and_merge(
+        data in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..200),
+        nbins in 1usize..32,
+        split in 0usize..200,
+    ) {
+        let data: Vec<Complex> = data.into_iter().map(|(re, im)| Complex::new(re, im)).collect();
+        let split = split.min(data.len());
+        let whole = histogram_magnitudes(&data, nbins, 75.0);
+        prop_assert_eq!(whole.iter().sum::<u64>(), data.len() as u64);
+        let mut merged = histogram_magnitudes(&data[..split], nbins, 75.0);
+        merge_histograms(&mut merged, &histogram_magnitudes(&data[split..], nbins, 75.0));
+        prop_assert_eq!(whole, merged);
+    }
+
+    /// Separable box sums with halos equal the 2-D reference for any split.
+    #[test]
+    fn window_sum_split_invariance(
+        rows in 2usize..12,
+        cols in 1usize..10,
+        w in 0usize..3,
+        cut in 1usize..11,
+        seed in 0u32..100,
+    ) {
+        let cut = cut.min(rows - 1);
+        let img: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u32).wrapping_mul(seed + 1) % 97) as f32)
+            .collect();
+        let expect = window_sum_reference(&img, rows, cols, w);
+        let horiz = box_sum_rows(&img, rows, cols, w);
+        let (t0, t1) = horiz.split_at(cut * cols);
+        let halo_rows0 = w.min(rows - cut);
+        let halo_rows1 = w.min(cut);
+        let bottom0 = &t1[..halo_rows0 * cols];
+        let top1 = &t0[(cut - halo_rows1) * cols..];
+        let out0 = box_sum_cols_with_halo(t0, cut, cols, w, &[], bottom0);
+        let out1 = box_sum_cols_with_halo(t1, rows - cut, cols, w, top1, &[]);
+        let got: Vec<f32> = out0.into_iter().chain(out1).collect();
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+        }
+    }
+}

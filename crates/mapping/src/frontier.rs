@@ -1,0 +1,212 @@
+//! The optimal latency-throughput tradeoff curve of a pipeline
+//! (Subhlok & Vondran, SPAA '96 — the paper's reference [22]).
+//!
+//! Figure 5's three mappings are three points of this curve; the
+//! frontier makes the whole trade explicit: each point is a mapping no
+//! other mapping dominates (strictly better in one of
+//! {throughput, latency} and at least as good in the other). The
+//! `tradeoff` harness prints it for the FFT-Hist chain.
+
+use crate::chain::{evaluate, ChainModel, Evaluated, Mapping, Segment};
+
+/// All candidate mappings considered by the optimizer: every replication
+/// factor dividing the machine × every contiguous segmentation, with a
+/// spread of processor allocations per segmentation.
+fn candidates(model: &ChainModel, total_procs: usize) -> Vec<Evaluated> {
+    let m = model.stages.len();
+    let mut out = Vec::new();
+    for modules in 1..=total_procs {
+        if !total_procs.is_multiple_of(modules) {
+            continue;
+        }
+        let per_module = total_procs / modules;
+        for pattern in 0..(1u32 << (m - 1)) {
+            let mut bounds = vec![0usize];
+            for k in 0..m - 1 {
+                if pattern & (1 << k) != 0 {
+                    bounds.push(k + 1);
+                }
+            }
+            bounds.push(m);
+            let nseg = bounds.len() - 1;
+            if nseg > per_module {
+                continue;
+            }
+            for alloc in allocations(per_module, nseg) {
+                let segments: Vec<Segment> = (0..nseg)
+                    .map(|s| Segment {
+                        first: bounds[s],
+                        last: bounds[s + 1] - 1,
+                        procs: alloc[s],
+                    })
+                    .collect();
+                out.push(evaluate(model, &Mapping { modules, segments }));
+            }
+        }
+    }
+    out
+}
+
+/// A spread of processor allocations of `procs` over `nseg` segments:
+/// exhaustive for small cases, otherwise the even split plus its
+/// single-transfer perturbations (the hill-climb neighbourhood).
+fn allocations(procs: usize, nseg: usize) -> Vec<Vec<usize>> {
+    if nseg == 1 {
+        return vec![vec![procs]];
+    }
+    // Exhaustive compositions when the space is tiny.
+    let space: usize = num_compositions(procs, nseg);
+    if space <= 4096 {
+        let mut out = Vec::new();
+        let mut cur = vec![1usize; nseg];
+        compose(procs - nseg, 0, &mut cur, &mut out);
+        return out;
+    }
+    // Otherwise: even split and its neighbours.
+    let mut base: Vec<usize> = vec![procs / nseg; nseg];
+    for b in base.iter_mut().take(procs % nseg) {
+        *b += 1;
+    }
+    let mut out = vec![base.clone()];
+    for from in 0..nseg {
+        for to in 0..nseg {
+            if from == to || base[from] <= 1 {
+                continue;
+            }
+            let mut v = base.clone();
+            v[from] -= 1;
+            v[to] += 1;
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn num_compositions(procs: usize, nseg: usize) -> usize {
+    // C(procs-1, nseg-1), saturating.
+    let (mut n, mut k) = (procs - 1, nseg - 1);
+    if k > n {
+        return 0;
+    }
+    k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+        n = n.max(1);
+    }
+    acc
+}
+
+fn compose(extra: usize, i: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if i == cur.len() - 1 {
+        cur[i] += extra;
+        out.push(cur.clone());
+        cur[i] -= extra;
+        return;
+    }
+    for take in 0..=extra {
+        cur[i] += take;
+        compose(extra - take, i + 1, cur, out);
+        cur[i] -= take;
+    }
+}
+
+/// The Pareto frontier of (throughput, latency): returned in increasing
+/// throughput order; every point is undominated.
+pub fn tradeoff_frontier(model: &ChainModel, total_procs: usize) -> Vec<Evaluated> {
+    let mut cands = candidates(model, total_procs);
+    // Sort by throughput descending, then latency ascending.
+    cands.sort_by(|a, b| {
+        b.throughput
+            .total_cmp(&a.throughput)
+            .then(a.latency.total_cmp(&b.latency))
+    });
+    let mut frontier: Vec<Evaluated> = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    for c in cands {
+        if c.latency < best_latency - 1e-15 {
+            best_latency = c.latency;
+            frontier.push(c);
+        }
+    }
+    // frontier currently: throughput descending with strictly improving
+    // latency → reverse to increasing throughput.
+    frontier.reverse();
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{Boundary, NetParams};
+    use crate::profile::StageProfile;
+
+    fn test_model() -> ChainModel {
+        // One perfectly-scaling stage and one that flattens at 4 procs.
+        let a = StageProfile::ideal("a", 8.0, 64);
+        let b = StageProfile::from_samples("b", vec![(1, 4.0), (4, 1.0), (64, 1.0)]);
+        ChainModel::new(
+            vec![a, b],
+            vec![Boundary { bytes: 1e5, all_to_all: false, fused_is_free: true }],
+            NetParams { sec_per_byte: 1e-8, o_msg: 1e-4, latency: 1e-5 },
+        )
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_undominated() {
+        let model = test_model();
+        let f = tradeoff_frontier(&model, 16);
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(w[0].throughput < w[1].throughput, "throughput must increase");
+            assert!(w[0].latency < w[1].latency, "latency must increase along the frontier");
+        }
+    }
+
+    #[test]
+    fn frontier_contains_the_latency_optimum() {
+        let model = test_model();
+        let f = tradeoff_frontier(&model, 16);
+        let best_lat = f.iter().map(|e| e.latency).fold(f64::INFINITY, f64::min);
+        let unconstrained = crate::chain::best_mapping(&model, 16, None).unwrap();
+        assert!(
+            best_lat <= unconstrained.latency * (1.0 + 1e-9),
+            "frontier missed the latency optimum: {best_lat} vs {}",
+            unconstrained.latency
+        );
+    }
+
+    #[test]
+    fn frontier_reaches_higher_throughput_than_the_latency_optimum() {
+        let model = test_model();
+        let f = tradeoff_frontier(&model, 16);
+        let lat_opt_thr = f.first().unwrap().throughput;
+        let max_thr = f.last().unwrap().throughput;
+        assert!(
+            max_thr > lat_opt_thr * 1.5,
+            "expected a real trade: {lat_opt_thr} → {max_thr}"
+        );
+    }
+
+    #[test]
+    fn compositions_enumerate_exactly() {
+        let mut got = Vec::new();
+        let mut cur = vec![1usize; 3];
+        compose(2, 0, &mut cur, &mut got);
+        // 2 extra over 3 slots: C(4,2) = 6 compositions.
+        assert_eq!(got.len(), 6);
+        assert!(got.iter().all(|v| v.iter().sum::<usize>() == 5));
+    }
+
+    #[test]
+    fn single_stage_frontier_is_replication_ladder() {
+        let flat = StageProfile::from_samples("s", vec![(1, 1.0), (64, 1.0)]);
+        let model = ChainModel::new(vec![flat], vec![], NetParams::zero());
+        let f = tradeoff_frontier(&model, 8);
+        // Latency is constant (1 s), so only the max-throughput point
+        // survives domination: 8 modules.
+        assert_eq!(f.len(), 1);
+        assert!((f[0].throughput - 8.0).abs() < 1e-9);
+        assert_eq!(f[0].mapping.modules, 8);
+    }
+}

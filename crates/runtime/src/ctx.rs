@@ -1,0 +1,175 @@
+//! The per-processor execution context.
+//!
+//! Every physical processor of the simulated multicomputer runs the same
+//! SPMD closure with its own [`ProcCtx`]. The context carries the
+//! processor's identity, its (virtual) clock, its event log, and the
+//! endpoints for direct-deposit messaging.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::mailbox::{Envelope, Mailbox};
+use crate::model::TimeMode;
+use crate::payload::{erase, unerase, Payload};
+use crate::trace::EventLog;
+
+/// Shared state of one run of the machine.
+pub(crate) struct World {
+    pub nprocs: usize,
+    pub mode: TimeMode,
+    pub mailboxes: Vec<Mailbox>,
+    pub recv_timeout: Duration,
+}
+
+/// Execution context of one physical processor (one per SPMD thread).
+pub struct ProcCtx {
+    rank: usize,
+    world: Arc<World>,
+    /// Virtual clock (seconds). Unused in real-time mode.
+    clock: f64,
+    /// Wall-clock start, for real-time mode.
+    start: Instant,
+    events: EventLog,
+    /// Counts messages/bytes for reporting.
+    sent_msgs: u64,
+    sent_bytes: u64,
+}
+
+impl ProcCtx {
+    pub(crate) fn new(rank: usize, world: Arc<World>, start: Instant) -> Self {
+        ProcCtx {
+            rank,
+            world,
+            clock: 0.0,
+            start,
+            events: EventLog::default(),
+            sent_msgs: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Physical rank of this processor, `0..nprocs()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of physical processors in the machine.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.world.nprocs
+    }
+
+    /// The machine's time mode (shared by all processors).
+    #[inline]
+    pub fn time_mode(&self) -> TimeMode {
+        self.world.mode
+    }
+
+    /// Current time in seconds: virtual time when simulating, wall-clock
+    /// time since machine start otherwise.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        match self.world.mode {
+            TimeMode::Real => self.start.elapsed().as_secs_f64(),
+            TimeMode::Simulated(_) => self.clock,
+        }
+    }
+
+    /// Advance this processor's virtual clock to at least `t`
+    /// (no-op in real-time mode or when already past `t`).
+    #[inline]
+    pub fn advance_to(&mut self, t: f64) {
+        if self.world.mode.is_simulated() && t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Charge `n` floating point operations of local compute.
+    #[inline]
+    pub fn charge_flops(&mut self, n: f64) {
+        if let TimeMode::Simulated(m) = self.world.mode {
+            self.clock += m.flops(n);
+        }
+    }
+
+    /// Charge `n` bytes of local memory traffic (memory-bound kernels).
+    #[inline]
+    pub fn charge_mem_bytes(&mut self, n: f64) {
+        if let TimeMode::Simulated(m) = self.world.mode {
+            self.clock += m.mem_bytes(n);
+        }
+    }
+
+    /// Charge a raw amount of virtual seconds (e.g. a modeled I/O phase).
+    #[inline]
+    pub fn charge_seconds(&mut self, s: f64) {
+        if self.world.mode.is_simulated() {
+            self.clock += s;
+        }
+    }
+
+    /// Send `value` to physical processor `dst` on channel `tag`.
+    ///
+    /// Direct deposit: the call enqueues into `dst`'s mailbox and returns;
+    /// the sender is only charged its CPU overhead plus the per-byte gap.
+    pub fn send<T: Payload>(&mut self, dst: usize, tag: u64, value: T) {
+        assert!(dst < self.world.nprocs, "send to nonexistent processor {dst}");
+        let (payload, nbytes) = erase(value);
+        let arrival = match self.world.mode {
+            TimeMode::Real => 0.0,
+            TimeMode::Simulated(m) => {
+                self.clock += m.send_busy(nbytes);
+                m.arrival(self.clock)
+            }
+        };
+        self.sent_msgs += 1;
+        self.sent_bytes += nbytes as u64;
+        self.world.mailboxes[dst].deposit(Envelope {
+            src: self.rank,
+            tag,
+            arrival,
+            nbytes,
+            payload,
+        });
+    }
+
+    /// Receive a `T` from physical processor `src` on channel `tag`,
+    /// blocking until it arrives. Matching is FIFO per `(src, tag)`.
+    pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        assert!(src < self.world.nprocs, "recv from nonexistent processor {src}");
+        let env =
+            self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout);
+        if let TimeMode::Simulated(m) = self.world.mode {
+            let t = self.clock.max(env.arrival) + m.recv_busy(env.nbytes);
+            self.clock = t;
+        }
+        unerase(env.payload, src, tag)
+    }
+
+    /// True if a message from `src` with `tag` is already deposited.
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        self.world.mailboxes[self.rank].probe(src, tag)
+    }
+
+    /// Mark an event at the current time on this processor's log.
+    pub fn record(&mut self, label: impl Into<String>) {
+        let t = self.now();
+        self.events.record(t, label);
+    }
+
+    /// Number of messages this processor has sent so far.
+    pub fn sent_msgs(&self) -> u64 {
+        self.sent_msgs
+    }
+
+    /// Number of payload bytes this processor has sent so far.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64) {
+        let t = self.now();
+        (t, self.events, self.sent_msgs, self.sent_bytes)
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-processor mailboxes.
+//!
+//! Each simulated processor owns one mailbox. A send *deposits* the message
+//! directly into the destination mailbox (no rendezvous), mirroring the
+//! direct-deposit communication layer of Fx on the Paragon [Stricker et
+//! al. '95]. Receives match on `(source, tag)` and are FIFO per channel,
+//! which — together with the absence of a wildcard source — makes virtual
+//! time fully deterministic.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::payload::AnyPayload;
+
+/// A message at rest in a mailbox.
+pub(crate) struct Envelope {
+    /// Physical rank of the sender.
+    pub src: usize,
+    /// Channel tag (runtime-internal; composed from group id + sequence).
+    pub tag: u64,
+    /// Virtual time at which the message may be received (already includes
+    /// wire latency). Zero in real-time mode.
+    pub arrival: f64,
+    /// Wire size used for receiver-side cost accounting.
+    pub nbytes: usize,
+    /// The type-erased value.
+    pub payload: AnyPayload,
+}
+
+#[derive(Default)]
+struct MailState {
+    queues: HashMap<(usize, u64), VecDeque<Envelope>>,
+    /// Set when some processor panicked: everyone blocked here must unwind
+    /// too so the whole run fails instead of hanging.
+    poisoned: bool,
+}
+
+/// Mailbox of one physical processor.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    state: Mutex<MailState>,
+    cvar: Condvar,
+}
+
+impl Mailbox {
+    /// Deposit a message (called by the *sender*).
+    pub fn deposit(&self, env: Envelope) {
+        let mut st = self.state.lock();
+        st.queues.entry((env.src, env.tag)).or_default().push_back(env);
+        drop(st);
+        self.cvar.notify_all();
+    }
+
+    /// Block until a message from `src` with `tag` is available and take it.
+    ///
+    /// `timeout` bounds the wait; exceeding it indicates a deadlock in the
+    /// SPMD program (mismatched send/recv or collective) and panics with a
+    /// diagnostic listing what *is* pending.
+    pub fn take(&self, src: usize, tag: u64, me: usize, timeout: Duration) -> Envelope {
+        let mut st = self.state.lock();
+        loop {
+            if st.poisoned {
+                panic!("processor {me}: aborting recv, another processor panicked");
+            }
+            if let Some(q) = st.queues.get_mut(&(src, tag)) {
+                if let Some(env) = q.pop_front() {
+                    return env;
+                }
+            }
+            if self.cvar.wait_for(&mut st, timeout).timed_out() {
+                let pending: Vec<(usize, u64, usize)> = st
+                    .queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&(s, t), q)| (s, t, q.len()))
+                    .collect();
+                panic!(
+                    "processor {me}: recv(src={src}, tag={tag:#x}) timed out after \
+                     {timeout:?} — likely deadlock. Pending (src, tag, count): {pending:?}"
+                );
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a message from `src` with `tag` waiting?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        let st = self.state.lock();
+        st.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())
+    }
+
+    /// Wake all waiters with a poison flag after a panic elsewhere.
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.cvar.notify_all();
+    }
+
+    /// Number of undelivered messages (used by the run harness to detect
+    /// programs that exit leaving messages unreceived).
+    pub fn undelivered(&self) -> usize {
+        self.state.lock().queues.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::erase;
+
+    fn env(src: usize, tag: u64, v: u32) -> Envelope {
+        let (payload, nbytes) = erase(v);
+        Envelope { src, tag, arrival: 0.0, nbytes, payload }
+    }
+
+    #[test]
+    fn fifo_per_channel() {
+        let mb = Mailbox::default();
+        mb.deposit(env(1, 7, 10));
+        mb.deposit(env(1, 7, 20));
+        let a = mb.take(1, 7, 0, Duration::from_secs(1));
+        let b = mb.take(1, 7, 0, Duration::from_secs(1));
+        let av: u32 = crate::payload::unerase(a.payload, 1, 7);
+        let bv: u32 = crate::payload::unerase(b.payload, 1, 7);
+        assert_eq!((av, bv), (10, 20));
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mb = Mailbox::default();
+        mb.deposit(env(1, 7, 10));
+        mb.deposit(env(2, 7, 20));
+        let b = mb.take(2, 7, 0, Duration::from_secs(1));
+        let bv: u32 = crate::payload::unerase(b.payload, 2, 7);
+        assert_eq!(bv, 20);
+        assert!(mb.probe(1, 7));
+        assert!(!mb.probe(2, 7));
+        assert_eq!(mb.undelivered(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn take_times_out_with_diagnostic() {
+        let mb = Mailbox::default();
+        mb.deposit(env(3, 9, 1));
+        mb.take(1, 7, 0, Duration::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "another processor panicked")]
+    fn poison_unblocks_with_panic() {
+        let mb = std::sync::Arc::new(Mailbox::default());
+        let mb2 = mb.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            mb2.poison();
+        });
+        mb.take(0, 0, 1, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mb = std::sync::Arc::new(Mailbox::default());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            mb2.deposit(env(5, 1, 42));
+        });
+        let e = mb.take(5, 1, 0, Duration::from_secs(5));
+        h.join().unwrap();
+        let v: u32 = crate::payload::unerase(e.payload, 5, 1);
+        assert_eq!(v, 42);
+    }
+}

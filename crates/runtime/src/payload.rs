@@ -1,0 +1,139 @@
+//! Message payloads.
+//!
+//! The simulator needs to know how many bytes each message occupies on the
+//! (virtual) wire, so every type sent through the runtime implements
+//! [`Payload`]. Payloads are moved between threads as `Box<dyn Any + Send>`
+//! — "direct deposit" into the receiver's mailbox, mirroring the Fx/Paragon
+//! communication layer where the sender writes straight into the receiver's
+//! memory space.
+
+use std::any::Any;
+
+/// A value that can be sent between (virtual) processors.
+///
+/// `nbytes` is the wire size charged by the cost model; it should reflect
+/// the payload's semantic size, not Rust allocation overheads.
+pub trait Payload: Send + 'static {
+    /// Number of bytes this value occupies on the wire.
+    fn nbytes(&self) -> usize;
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),* $(,)?) => {
+        $(impl Payload for $t {
+            #[inline]
+            fn nbytes(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+
+scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Payload for () {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Copy + Send + 'static> Payload for Vec<T> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Copy + Send + 'static> Payload for Box<[T]> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        // One flag byte plus the contents, if any.
+        1 + self.as_ref().map_or(0, Payload::nbytes)
+    }
+}
+
+/// Type-erased payload as stored in a mailbox.
+pub(crate) type AnyPayload = Box<dyn Any + Send>;
+
+/// Erase a payload, retaining its wire size.
+pub(crate) fn erase<T: Payload>(value: T) -> (AnyPayload, usize) {
+    let n = value.nbytes();
+    (Box::new(value), n)
+}
+
+/// Recover a payload of a concrete type; panics on a type mismatch, which
+/// indicates mismatched send/recv pairs in an SPMD program (a program bug,
+/// analogous to an MPI datatype mismatch).
+pub(crate) fn unerase<T: Payload>(any: AnyPayload, src: usize, tag: u64) -> T {
+    match any.downcast::<T>() {
+        Ok(b) => *b,
+        Err(_) => panic!(
+            "recv type mismatch for message from processor {src} tag {tag:#x}: \
+             expected {}",
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(3.0f64.nbytes(), 8);
+        assert_eq!(1u32.nbytes(), 4);
+        assert_eq!(().nbytes(), 0);
+        assert_eq!(true.nbytes(), 1);
+    }
+
+    #[test]
+    fn vec_and_slice_sizes() {
+        assert_eq!(vec![0f64; 10].nbytes(), 80);
+        let b: Box<[u32]> = vec![1u32; 5].into_boxed_slice();
+        assert_eq!(b.nbytes(), 20);
+    }
+
+    #[test]
+    fn tuple_and_option_sizes() {
+        assert_eq!((1u64, 2u32).nbytes(), 12);
+        assert_eq!((1u8, 2u8, vec![0u8; 3]).nbytes(), 5);
+        assert_eq!(Some(7u64).nbytes(), 9);
+        assert_eq!(None::<u64>.nbytes(), 1);
+    }
+
+    #[test]
+    fn erase_roundtrip() {
+        let (any, n) = erase(vec![1u32, 2, 3]);
+        assert_eq!(n, 12);
+        let v: Vec<u32> = unerase(any, 0, 0);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn unerase_wrong_type_panics() {
+        let (any, _) = erase(1u32);
+        let _: f64 = unerase(any, 3, 7);
+    }
+}

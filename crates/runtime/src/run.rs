@@ -1,0 +1,398 @@
+//! Launching SPMD programs on the simulated multicomputer.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::ctx::{ProcCtx, World};
+use crate::mailbox::Mailbox;
+use crate::model::{MachineModel, TimeMode};
+use crate::trace::EventLog;
+
+/// Configuration of one machine instance.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Number of physical processors (threads).
+    pub nprocs: usize,
+    /// Real or simulated time.
+    pub mode: TimeMode,
+    /// Deadlock watchdog: a blocked receive panics after this long.
+    pub recv_timeout: Duration,
+}
+
+impl Machine {
+    /// A machine with `nprocs` processors under deterministic virtual time.
+    pub fn simulated(nprocs: usize, model: MachineModel) -> Self {
+        Machine { nprocs, mode: TimeMode::Simulated(model), recv_timeout: Duration::from_secs(60) }
+    }
+
+    /// A machine with `nprocs` processors running in real (wall-clock) time.
+    pub fn real(nprocs: usize) -> Self {
+        Machine { nprocs, mode: TimeMode::Real, recv_timeout: Duration::from_secs(60) }
+    }
+
+    /// Override the deadlock watchdog timeout.
+    pub fn with_timeout(mut self, t: Duration) -> Self {
+        self.recv_timeout = t;
+        self
+    }
+}
+
+/// Everything a finished run produced.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-processor return values, indexed by physical rank.
+    pub results: Vec<R>,
+    /// Per-processor finish times (virtual seconds when simulating).
+    pub times: Vec<f64>,
+    /// Per-processor event logs.
+    pub events: Vec<EventLog>,
+    /// Per-processor (messages, bytes) sent.
+    pub traffic: Vec<(u64, u64)>,
+    /// Messages deposited but never received (0 for a clean program).
+    pub undelivered: usize,
+}
+
+impl<R> RunReport<R> {
+    /// Completion time of the run: the slowest processor's clock.
+    pub fn makespan(&self) -> f64 {
+        self.times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// All events with the given label across processors, as
+    /// `(processor, time)` pairs sorted by time.
+    pub fn events_named(&self, label: &str) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .events
+            .iter()
+            .enumerate()
+            .flat_map(|(p, log)| log.times_of(label).into_iter().map(move |t| (p, t)))
+            .collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v
+    }
+
+    /// Steady-state throughput in events/second for `label`, computed from
+    /// the spacing between the first and last occurrence (skipping the
+    /// pipeline fill by dropping the first `skip` events).
+    pub fn throughput(&self, label: &str, skip: usize) -> f64 {
+        let ev = self.events_named(label);
+        assert!(
+            ev.len() > skip + 1,
+            "need at least {} '{label}' events to measure throughput, got {}",
+            skip + 2,
+            ev.len()
+        );
+        let first = ev[skip].1;
+        let last = ev[ev.len() - 1].1;
+        (ev.len() - 1 - skip) as f64 / (last - first)
+    }
+
+    /// Serialize all processors' event logs as Chrome-trace JSON (open in
+    /// `about:tracing` or Perfetto to see the pipeline overlap).
+    pub fn chrome_trace(&self) -> String {
+        crate::trace::chrome_trace_json(&self.events)
+    }
+
+    /// Mean time between events labelled `start` and the matching events
+    /// labelled `done` (paired in order). This is the per-data-set latency
+    /// of a stream program.
+    pub fn latency(&self, start: &str, done: &str) -> f64 {
+        let s = self.events_named(start);
+        let d = self.events_named(done);
+        assert!(!s.is_empty() && s.len() == d.len(), "unpaired latency events: {} starts, {} dones", s.len(), d.len());
+        let total: f64 = s.iter().zip(&d).map(|(a, b)| b.1 - a.1).sum();
+        total / s.len() as f64
+    }
+}
+
+/// Run `f` as an SPMD program: every processor executes the same closure
+/// with its own [`ProcCtx`]. Returns when all processors finish.
+///
+/// If any processor panics, all others are unblocked (their receives
+/// poison) and the original panic is propagated.
+pub fn run<R, F>(machine: &Machine, f: F) -> RunReport<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Send + Sync,
+{
+    assert!(machine.nprocs >= 1, "machine needs at least one processor");
+    let world = Arc::new(World {
+        nprocs: machine.nprocs,
+        mode: machine.mode,
+        mailboxes: (0..machine.nprocs).map(|_| Mailbox::default()).collect(),
+        recv_timeout: machine.recv_timeout,
+    });
+    let start = Instant::now();
+
+    let mut outcomes: Vec<Option<ProcOutcome<R>>> = (0..machine.nprocs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(machine.nprocs);
+        for rank in 0..machine.nprocs {
+            let world = Arc::clone(&world);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut cx = ProcCtx::new(rank, Arc::clone(&world), start);
+                let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
+                match r {
+                    Ok(value) => {
+                        let (time, events, msgs, bytes) = cx.into_parts();
+                        Ok(ProcOutcome { value, time, events, msgs, bytes })
+                    }
+                    Err(payload) => {
+                        // Unblock everyone else before reporting.
+                        for mb in &world.mailboxes {
+                            mb.poison();
+                        }
+                        Err(payload)
+                    }
+                }
+            }));
+        }
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut poison_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join().expect("SPMD worker thread died outside catch_unwind") {
+                Ok(out) => outcomes[rank] = Some(out),
+                Err(p) => {
+                    // Prefer reporting the root-cause panic over the
+                    // poison-induced secondary ones.
+                    let is_secondary = p
+                        .downcast_ref::<String>()
+                        .is_some_and(|s| s.contains("another processor panicked"));
+                    if is_secondary {
+                        poison_panic.get_or_insert(p);
+                    } else if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic.or(poison_panic) {
+            resume_unwind(p);
+        }
+    });
+
+    let undelivered = world.mailboxes.iter().map(Mailbox::undelivered).sum();
+    let mut results = Vec::with_capacity(machine.nprocs);
+    let mut times = Vec::with_capacity(machine.nprocs);
+    let mut events = Vec::with_capacity(machine.nprocs);
+    let mut traffic = Vec::with_capacity(machine.nprocs);
+    for out in outcomes.into_iter() {
+        let out = out.expect("missing processor outcome despite no panic");
+        results.push(out.value);
+        times.push(out.time);
+        events.push(out.events);
+        traffic.push((out.msgs, out.bytes));
+    }
+    RunReport { results, times, events, traffic, undelivered }
+}
+
+struct ProcOutcome<R> {
+    value: R,
+    time: f64,
+    events: EventLog,
+    msgs: u64,
+    bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_proc_returns_value() {
+        let rep = run(&Machine::real(1), |cx| cx.rank() + 41);
+        assert_eq!(rep.results, vec![41]);
+        assert_eq!(rep.undelivered, 0);
+    }
+
+    #[test]
+    fn ranks_are_unique_and_complete() {
+        let rep = run(&Machine::real(8), |cx| cx.rank());
+        assert_eq!(rep.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_real_mode() {
+        let rep = run(&Machine::real(2), |cx| {
+            if cx.rank() == 0 {
+                cx.send(1, 1, 123u64);
+                cx.recv::<u64>(1, 2)
+            } else {
+                let v = cx.recv::<u64>(0, 1);
+                cx.send(0, 2, v + 1);
+                v
+            }
+        });
+        assert_eq!(rep.results, vec![124, 123]);
+    }
+
+    #[test]
+    fn simulated_time_accounts_for_message_costs() {
+        let m = crate::model::MachineModel::paragon();
+        let rep = run(&Machine::simulated(2, m), |cx| {
+            if cx.rank() == 0 {
+                cx.send(1, 1, vec![0f64; 1000]);
+            } else {
+                let _: Vec<f64> = cx.recv(0, 1);
+            }
+            cx.now()
+        });
+        // Sender: o_send + 8000 B * gap. Receiver: that + latency + o_recv.
+        let t0 = m.send_busy(8000);
+        let t1 = m.arrival(t0) + m.recv_busy(8000);
+        assert!((rep.results[0] - t0).abs() < 1e-12, "{} vs {}", rep.results[0], t0);
+        assert!((rep.results[1] - t1).abs() < 1e-12, "{} vs {}", rep.results[1], t1);
+        assert_eq!(rep.makespan(), rep.results[1]);
+    }
+
+    #[test]
+    fn simulated_time_is_deterministic_across_runs() {
+        let machine = Machine::simulated(4, crate::model::MachineModel::paragon());
+        let go = || {
+            run(&machine, |cx| {
+                // Ring exchange plus local compute.
+                let right = (cx.rank() + 1) % cx.nprocs();
+                let left = (cx.rank() + cx.nprocs() - 1) % cx.nprocs();
+                cx.charge_flops(1000.0 * (cx.rank() + 1) as f64);
+                cx.send(right, 9, cx.rank() as u64);
+                let v: u64 = cx.recv(left, 9);
+                cx.charge_flops(500.0 * v as f64);
+                cx.now()
+            })
+            .results
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn clocks_decouple_until_communication() {
+        // Proc 0 does lots of work; proc 1 does none and waits for a
+        // message; proc 2 does nothing and should finish at time 0.
+        let m = crate::model::MachineModel::zero_comm(1e-6);
+        let rep = run(&Machine::simulated(3, m), |cx| match cx.rank() {
+            0 => {
+                cx.charge_flops(1_000_000.0);
+                cx.send(1, 1, 0u8);
+                cx.now()
+            }
+            1 => {
+                let _: u8 = cx.recv(0, 1);
+                cx.now()
+            }
+            _ => cx.now(),
+        });
+        assert!((rep.results[0] - 1.0).abs() < 1e-9);
+        assert!((rep.results[1] - 1.0).abs() < 1e-9);
+        assert_eq!(rep.results[2], 0.0);
+    }
+
+    #[test]
+    fn events_and_throughput() {
+        let m = crate::model::MachineModel::zero_comm(1e-3);
+        let rep = run(&Machine::simulated(1, m), |cx| {
+            for _ in 0..5 {
+                cx.record("set start");
+                cx.charge_flops(100.0); // 0.1 s each
+                cx.record("set done");
+            }
+        });
+        let done = rep.events_named("set done");
+        assert_eq!(done.len(), 5);
+        let thr = rep.throughput("set done", 1);
+        assert!((thr - 10.0).abs() < 1e-6, "thr = {thr}");
+        let lat = rep.latency("set start", "set done");
+        assert!((lat - 0.1).abs() < 1e-9, "lat = {lat}");
+    }
+
+    #[test]
+    fn panic_in_one_proc_fails_whole_run() {
+        let machine = Machine::real(2).with_timeout(Duration::from_secs(30));
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run(&machine, |cx| {
+                if cx.rank() == 0 {
+                    panic!("boom from rank 0");
+                }
+                // Rank 1 would block forever without poisoning.
+                let _: u8 = cx.recv(0, 7);
+            })
+        }));
+        let err = res.expect_err("run should have panicked");
+        let msg = err.downcast_ref::<&str>().map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom from rank 0"), "got panic: {msg}");
+    }
+
+    #[test]
+    fn undelivered_messages_are_counted() {
+        let rep = run(&Machine::real(2), |cx| {
+            if cx.rank() == 0 {
+                cx.send(1, 1, 5u8);
+                cx.send(1, 2, 6u8);
+            } else {
+                let _: u8 = cx.recv(0, 1);
+            }
+        });
+        assert_eq!(rep.undelivered, 1);
+        assert_eq!(rep.traffic[0].0, 2);
+        assert_eq!(rep.traffic[1].0, 0);
+    }
+
+    #[test]
+    fn probe_sees_deposited_messages_without_consuming() {
+        let rep = run(&Machine::real(2), |cx| {
+            if cx.rank() == 0 {
+                cx.send(1, 3, 9u8);
+                true
+            } else {
+                // Wait until the deposit lands, then check probe twice.
+                while !cx.probe(0, 3) {
+                    std::thread::yield_now();
+                }
+                let still_there = cx.probe(0, 3);
+                let v: u8 = cx.recv(0, 3);
+                still_there && v == 9 && !cx.probe(0, 3)
+            }
+        });
+        assert!(rep.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn advance_to_moves_clock_forward_only() {
+        let rep = run(&Machine::simulated(1, crate::model::MachineModel::paragon()), |cx| {
+            cx.advance_to(2.5);
+            let a = cx.now();
+            cx.advance_to(1.0); // must not go backwards
+            let b = cx.now();
+            cx.charge_mem_bytes(30e6); // 1 second at 30 MB/s
+            (a, b, cx.now())
+        });
+        let (a, b, c) = rep.results[0];
+        assert_eq!(a, 2.5);
+        assert_eq!(b, 2.5);
+        assert!((c - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_is_noop_in_real_mode() {
+        let rep = run(&Machine::real(1), |cx| {
+            cx.advance_to(1e9);
+            cx.now() < 1.0 // wall clock, not the far future
+        });
+        assert!(rep.results[0]);
+    }
+
+    #[test]
+    fn traffic_counts_bytes() {
+        let rep = run(&Machine::real(2), |cx| {
+            if cx.rank() == 0 {
+                cx.send(1, 1, vec![0u32; 100]);
+            } else {
+                let _: Vec<u32> = cx.recv(0, 1);
+            }
+        });
+        assert_eq!(rep.traffic[0], (1, 400));
+    }
+}

@@ -1,0 +1,132 @@
+//! Event tracing.
+//!
+//! Applications mark interesting instants (`dataset done`, `hour output`,
+//! …) on their processor's virtual clock; the run report aggregates them so
+//! harnesses can compute throughput (events per second) and latency
+//! (spacing between paired events) exactly the way the paper measures its
+//! stream-processing programs.
+
+/// One timestamped mark on a processor's clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual (or wall-clock) time in seconds.
+    pub time: f64,
+    /// Free-form label; harnesses match on it.
+    pub label: String,
+}
+
+/// Per-processor event log.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Append an event.
+    pub fn record(&mut self, time: f64, label: impl Into<String>) {
+        self.events.push(Event { time, label: label.into() });
+    }
+
+    /// All events in program order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Times of events whose label equals `label`.
+    pub fn times_of(&self, label: &str) -> Vec<f64> {
+        self.events.iter().filter(|e| e.label == label).map(|e| e.time).collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Serialize per-processor event logs as a Chrome-trace ("about:tracing"
+/// / Perfetto) JSON document: one instant event per recorded mark, one
+/// row per processor. Times are virtual microseconds.
+///
+/// Written by hand rather than with serde so labels are escaped without
+/// pulling a JSON dependency into the runtime.
+pub fn chrome_trace_json(logs: &[EventLog]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (proc_id, log) in logs.iter().enumerate() {
+        for ev in log.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
+                escape(&ev.label),
+                ev.time * 1e6,
+                proc_id
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let mut a = EventLog::default();
+        a.record(0.001, "set \"start\"");
+        a.record(0.002, "set done");
+        let mut b = EventLog::default();
+        b.record(0.0015, "other\n");
+        let json = chrome_trace_json(&[a, b]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\\\"start\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\\n"), "newlines escaped");
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"ts\":1000.000"));
+        // Exactly three events.
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_empty_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn record_and_filter() {
+        let mut log = EventLog::default();
+        log.record(1.0, "a");
+        log.record(2.0, "b");
+        log.record(3.0, "a");
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.times_of("a"), vec![1.0, 3.0]);
+        assert_eq!(log.times_of("b"), vec![2.0]);
+        assert!(log.times_of("c").is_empty());
+        assert_eq!(log.events()[1].label, "b");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the virtual-time machinery: determinism,
+//! monotonicity, and causality (a receive never completes before its
+//! send plus the wire costs).
+
+use fx_runtime::{run, Machine, MachineModel};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = MachineModel> {
+    (0.0f64..1e-3, 0.0f64..1e-3, 0.0f64..1e-3, 0.0f64..1e-7).prop_map(
+        |(o, l, _g, gap)| MachineModel {
+            o_send: o,
+            o_recv: o,
+            latency: l,
+            gap_per_byte: gap,
+            flop_time: 1e-7,
+            mem_time: 1e-8,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Re-running the same program yields bit-identical virtual times.
+    #[test]
+    fn virtual_time_is_deterministic(
+        model in arb_model(),
+        p in 2usize..6,
+        rounds in 1usize..6,
+        work in proptest::collection::vec(0u64..10_000, 6),
+    ) {
+        let go = || {
+            let work = work.clone();
+            run(&Machine::simulated(p, model), move |cx| {
+                for r in 0..rounds {
+                    cx.charge_flops(work[cx.rank()] as f64);
+                    let right = (cx.rank() + 1) % cx.nprocs();
+                    let left = (cx.rank() + cx.nprocs() - 1) % cx.nprocs();
+                    cx.send(right, r as u64, vec![0u8; work[cx.rank()] as usize % 64]);
+                    let _: Vec<u8> = cx.recv(left, r as u64);
+                }
+                cx.now().to_bits()
+            })
+            .results
+        };
+        prop_assert_eq!(go(), go());
+    }
+
+    /// Clocks never run backwards through any operation.
+    #[test]
+    fn clocks_are_monotone(
+        model in arb_model(),
+        p in 2usize..5,
+        rounds in 1usize..5,
+    ) {
+        let rep = run(&Machine::simulated(p, model), move |cx| {
+            let mut last = cx.now();
+            let mut ok = true;
+            for r in 0..rounds {
+                cx.charge_flops(100.0);
+                ok &= cx.now() >= last;
+                last = cx.now();
+                let right = (cx.rank() + 1) % cx.nprocs();
+                let left = (cx.rank() + cx.nprocs() - 1) % cx.nprocs();
+                cx.send(right, r as u64, 1u8);
+                ok &= cx.now() >= last;
+                last = cx.now();
+                let _: u8 = cx.recv(left, r as u64);
+                ok &= cx.now() >= last;
+                last = cx.now();
+            }
+            ok
+        });
+        prop_assert!(rep.results.iter().all(|&ok| ok));
+    }
+
+    /// Causality: the receiver's clock after a receive is at least the
+    /// sender's send-completion time plus latency plus receive overhead.
+    #[test]
+    fn receives_respect_causality(
+        model in arb_model(),
+        sender_work in 0u64..100_000,
+        nbytes in 0usize..4096,
+    ) {
+        let rep = run(&Machine::simulated(2, model), move |cx| {
+            if cx.rank() == 0 {
+                cx.charge_flops(sender_work as f64);
+                let t_before = cx.now();
+                cx.send(1, 1, vec![0u8; nbytes]);
+                (t_before, cx.now())
+            } else {
+                let _: Vec<u8> = cx.recv(0, 1);
+                (cx.now(), cx.now())
+            }
+        });
+        let (_, send_done) = rep.results[0];
+        let (recv_done, _) = rep.results[1];
+        let floor = send_done + model.latency + model.recv_busy(nbytes);
+        prop_assert!(
+            recv_done >= floor - 1e-15,
+            "recv at {recv_done} but floor is {floor}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The HPF 2.0 approved-extension style of task parallelism (paper §6):
+//! `ON PROCESSORS(lo:hi)` blocks over rectilinear sections, no declared
+//! partitions — the same program as the Fx-style quickstart, expressed
+//! both ways, computing the same thing on the same runtime.
+//!
+//! Run with: `cargo run --release --example hpf_style`
+
+use fx::prelude::*;
+
+fn main() {
+    let machine = Machine::simulated(8, MachineModel::paragon());
+    let report = spmd(&machine, |cx| {
+        // Fx style: declarative TASK_PARTITION + named subgroups.
+        let part = cx.task_partition(&[("some", Size::Procs(3)), ("many", Size::Rest)]);
+        let fx_result = cx.task_region(&part, |cx, tr| {
+            let a = tr.on(cx, "some", |cx| cx.pdo_reduce(
+                0..1000,
+                fx::core::IterSched::Block,
+                0u64,
+                |i, acc| *acc += i as u64,
+                |x, y| x + y,
+            ));
+            let b = tr.on(cx, "many", |cx| cx.pdo_reduce(
+                0..1000,
+                fx::core::IterSched::Cyclic,
+                0u64,
+                |i, acc| *acc += (i * i) as u64,
+                |x, y| x + y,
+            ));
+            a.or(b).unwrap()
+        });
+
+        // HPF style: the subset is described at the point of use, and may
+        // be computed at run time.
+        let split = 3; // could be any replicated run-time expression
+        let hpf_a = cx.on_processors(0..split, |cx| cx.pdo_reduce(
+            0..1000,
+            fx::core::IterSched::Block,
+            0u64,
+            |i, acc| *acc += i as u64,
+            |x, y| x + y,
+        ));
+        let hpf_b = cx.on_processors(split..8, |cx| cx.pdo_reduce(
+            0..1000,
+            fx::core::IterSched::Cyclic,
+            0u64,
+            |i, acc| *acc += (i * i) as u64,
+            |x, y| x + y,
+        ));
+        let hpf_result = hpf_a.or(hpf_b).unwrap();
+        (fx_result, hpf_result)
+    });
+
+    for (p, (fx_r, hpf_r)) in report.results.iter().enumerate() {
+        assert_eq!(fx_r, hpf_r, "processor {p} disagrees between styles");
+    }
+    let sum: u64 = (0..1000u64).sum();
+    let sq: u64 = (0..1000u64).map(|i| i * i).sum();
+    println!("sum 0..1000       (procs 0-2, both styles): {}", report.results[0].0);
+    println!("sum of squares    (procs 3-7, both styles): {}", report.results[7].0);
+    assert_eq!(report.results[0].0, sum);
+    assert_eq!(report.results[7].0, sq);
+    println!("ok: Fx TASK_REGION/ON SUBGROUP and HPF ON PROCESSORS agree on the same runtime");
+}

@@ -1,0 +1,31 @@
+//! Multiblock mesh computation — the paper's §1 motivating class and
+//! Figure 1's concrete structure: two regular Jacobi blocks of different
+//! sizes as interacting tasks, subgroups sized by block area, interface
+//! columns exchanged in parent scope each step.
+//!
+//! Run with: `cargo run --release --example multiblock`
+
+use fx::apps::multiblock::{multiblock_tp, reference_checksums, MultiblockConfig};
+use fx::prelude::*;
+
+fn main() {
+    let cfg = MultiblockConfig::demo();
+    println!(
+        "coupled blocks: A {}x{}, B {}x{}, {} steps",
+        cfg.rows, cfg.cols_a, cfg.rows, cfg.cols_b, cfg.steps
+    );
+
+    let (ea, eb) = reference_checksums(&cfg);
+    for p in [2usize, 4, 8] {
+        let machine = Machine::simulated(p, MachineModel::paragon());
+        let rep = spmd(&machine, move |cx| multiblock_tp(cx, &cfg));
+        let (sa, sb) = rep.results[0];
+        assert!((sa - ea).abs() < 1e-9 * ea.abs().max(1.0));
+        assert!((sb - eb).abs() < 1e-9 * eb.abs().max(1.0));
+        println!(
+            "p = {p}: sum(A) = {sa:9.4}, sum(B) = {sb:9.4}, virtual time {:.4} s",
+            rep.makespan()
+        );
+    }
+    println!("ok: both blocks iterate concurrently and match the sequential coupling");
+}

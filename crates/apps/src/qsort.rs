@@ -14,7 +14,7 @@
 //! pseudocode leaves to `pick_pivot`.
 
 use fx_core::{proportional_split, Cx, Size};
-use fx_darray::{copy_remap1_range, count_matching, repartition_by, DArray1, Dist1, Participation};
+use fx_darray::{copy_shift1_range, count_matching, repartition_by, DArray1, Dist1, Participation};
 
 /// Sort a distributed array of keys in place. Must be called with the
 /// current group equal to the array's group (the paper's `qsort(a, n)`
@@ -93,10 +93,10 @@ pub fn qsort(cx: &mut Cx, a: &mut DArray1<i64>) {
         tr.on(cx, "lessG", |cx| qsort(cx, &mut a_less));
         tr.on(cx, "greaterEqG", |cx| qsort(cx, &mut a_gtr));
         // merge_result: parent scope range assignments.
-        copy_remap1_range(cx, a, 0..n_less, &a_less, |i| i, Participation::Minimal);
+        copy_shift1_range(cx, a, 0..n_less, &a_less, 0, Participation::Minimal);
         fill_range(cx, a, n_less, n_eq, pivot);
         let off = n_less + n_eq;
-        copy_remap1_range(cx, a, off..n, &a_gtr, move |i| i - off, Participation::Minimal);
+        copy_shift1_range(cx, a, off..n, &a_gtr, -(off as isize), Participation::Minimal);
     });
 }
 
@@ -142,7 +142,7 @@ fn merge_result(
     n_less: usize,
     n_eq: usize,
 ) {
-    copy_remap1_range(cx, a, 0..n_less, side, |i| i, Participation::Minimal);
+    copy_shift1_range(cx, a, 0..n_less, side, 0, Participation::Minimal);
     fill_range(cx, a, n_less, n_eq, pivot);
 }
 
@@ -156,7 +156,7 @@ fn merge_result_high(
 ) {
     fill_range(cx, a, 0, n_eq, pivot);
     let n = a.n();
-    copy_remap1_range(cx, a, n_eq..n, side, move |i| i - n_eq, Participation::Minimal);
+    copy_shift1_range(cx, a, n_eq..n, side, -(n_eq as isize), Participation::Minimal);
 }
 
 /// Convenience wrapper: sort a globally known vector on the current

@@ -1,0 +1,74 @@
+//! Criterion benches for the communication-plan engine: schedule build
+//! vs replay, and the end-to-end cached redistribution inside a running
+//! machine. Complements the standalone `redist_microbench` binary (which
+//! sweeps sizes and emits `BENCH_redist.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_core::{spmd, GroupHandle, Machine};
+use fx_darray::plan::{Plan1, Side1};
+use fx_darray::{assign1, DArray1, DimMap, Dist, Dist1};
+
+const N: usize = 1 << 16;
+const P: usize = 16;
+
+fn sides() -> (Side1, Side1) {
+    let group = GroupHandle::synthetic(1, (0..P).collect());
+    let s = Side1 { group: group.clone(), map: DimMap::new(N, P, Dist::Block), replicated: false };
+    let d = Side1 { group, map: DimMap::new(N, P, Dist::Cyclic), replicated: false };
+    (s, d)
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let (s, d) = sides();
+    c.bench_function("plan1_build_block_to_cyclic_64k_16p", |b| {
+        b.iter(|| {
+            (0..P).map(|me| Plan1::build(me, &s, &d, 0..N, 0).sends.len()).sum::<usize>()
+        })
+    });
+}
+
+fn bench_plan_replay(c: &mut Criterion) {
+    use fx_darray::plan::{copy_seg_runs, pack_seg_runs, unpack_seg_runs};
+    let (s, d) = sides();
+    let plans: Vec<Plan1> = (0..P).map(|me| Plan1::build(me, &s, &d, 0..N, 0)).collect();
+    let srcs: Vec<Vec<f64>> =
+        (0..P).map(|c| vec![1.0; s.map.local_len(c)]).collect();
+    let mut dsts: Vec<Vec<f64>> = (0..P).map(|c| vec![0.0; d.map.local_len(c)]).collect();
+    c.bench_function("plan1_replay_block_to_cyclic_64k_16p", |b| {
+        b.iter(|| {
+            let mut mail = std::collections::HashMap::new();
+            for (me, pl) in plans.iter().enumerate() {
+                copy_seg_runs(&srcs[me], &pl.local_src, &mut dsts[me], &pl.local_dst);
+                for sp in &pl.sends {
+                    mail.insert((me, sp.peer), pack_seg_runs(&srcs[me], &sp.runs, sp.total));
+                }
+            }
+            for (me, pl) in plans.iter().enumerate() {
+                for rp in &pl.recvs {
+                    let buf: Vec<f64> = mail.remove(&(rp.peer, me)).unwrap();
+                    unpack_seg_runs(&mut dsts[me], &rp.runs, &buf);
+                }
+            }
+        })
+    });
+}
+
+fn bench_cached_assign1(c: &mut Criterion) {
+    // End to end, threads and plan cache included: 16 redistributions per
+    // machine launch, so one build + 15 cache hits per statement shape.
+    c.bench_function("assign1_x16_cached_block_to_cyclic_4k_4p", |b| {
+        b.iter(|| {
+            spmd(&Machine::real(4), |cx| {
+                let g = cx.group();
+                let src = DArray1::new(cx, &g, 4096, Dist1::Block, 1.0f64);
+                let mut dst = DArray1::new(cx, &g, 4096, Dist1::Cyclic, 0.0f64);
+                for _ in 0..16 {
+                    assign1(cx, &mut dst, &src);
+                }
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_plan_build, bench_plan_replay, bench_cached_assign1);
+criterion_main!(benches);

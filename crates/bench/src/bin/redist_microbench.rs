@@ -1,0 +1,185 @@
+//! Host-time microbenchmark of the redistribution engine: the legacy
+//! per-element enumeration vs plan *build* (first iteration of a
+//! pipeline) vs plan *replay* (every later iteration, schedule cached).
+//!
+//! All three legs run thread-less: every rank's work is executed in a
+//! loop on the host, with messages passed through an in-process mailbox,
+//! so the numbers isolate communication-*schedule* cost (what the plan
+//! cache removes) from transport cost. Wall-clock host time, not the
+//! simulator's virtual time.
+//!
+//! Emits `BENCH_redist.json` in the working directory and a table on
+//! stdout. Run with:
+//! `cargo run --release -p fx-bench --bin redist_microbench`
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fx_core::GroupHandle;
+use fx_darray::plan::{
+    copy_seg_runs, pack_seg_runs, unpack_seg_runs, CommSets1, Plan1, Side1,
+};
+use fx_darray::{DimMap, Dist};
+
+/// One redistribution executed through the legacy per-element sets:
+/// enumerate, bucket, gather per element, scatter per element.
+fn legacy_iter(p: usize, s: &Side1, d: &Side1, n: usize, srcs: &[Vec<f64>], dsts: &mut [Vec<f64>]) {
+    let mut mail: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+    let mut sets: Vec<CommSets1> = Vec::with_capacity(p);
+    for me in 0..p {
+        let cs = CommSets1::legacy(me, s, d, 0..n, 0);
+        for (peer, slots) in &cs.sends {
+            let buf: Vec<f64> = slots.iter().map(|&sl| srcs[me][sl]).collect();
+            mail.insert((me, *peer), buf);
+        }
+        for &(ss, ds) in &cs.local {
+            dsts[me][ds] = srcs[me][ss];
+        }
+        sets.push(cs);
+    }
+    for (me, cs) in sets.iter().enumerate() {
+        for (peer, slots) in &cs.recvs {
+            let buf = mail.remove(&(*peer, me)).expect("matching send");
+            for (&slot, v) in slots.iter().zip(buf) {
+                dsts[me][slot] = v;
+            }
+        }
+    }
+}
+
+/// One redistribution executed through prebuilt plans: run-at-a-time
+/// pack, copy, unpack.
+fn plan_exec(p: usize, plans: &[Plan1], srcs: &[Vec<f64>], dsts: &mut [Vec<f64>]) {
+    let mut mail: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+    for me in 0..p {
+        let pl = &plans[me];
+        copy_seg_runs(&srcs[me], &pl.local_src, &mut dsts[me], &pl.local_dst);
+        for sp in &pl.sends {
+            mail.insert((me, sp.peer), pack_seg_runs(&srcs[me], &sp.runs, sp.total));
+        }
+    }
+    for (me, pl) in plans.iter().enumerate() {
+        for rp in &pl.recvs {
+            let buf = mail.remove(&(rp.peer, me)).expect("matching send");
+            unpack_seg_runs(&mut dsts[me], &rp.runs, &buf);
+        }
+    }
+}
+
+struct Row {
+    dir: &'static str,
+    n: usize,
+    p: usize,
+    legacy_ns: f64,
+    build_ns: f64,
+    replay_ns: f64,
+}
+
+fn bench_case(dir: &'static str, sdist: Dist, ddist: Dist, n: usize, p: usize) -> Row {
+    let group = GroupHandle::synthetic(1, (0..p).collect());
+    let s = Side1 { group: group.clone(), map: DimMap::new(n, p, sdist), replicated: false };
+    let d = Side1 { group, map: DimMap::new(n, p, ddist), replicated: false };
+
+    let srcs: Vec<Vec<f64>> =
+        (0..p).map(|c| (0..s.map.local_len(c)).map(|i| i as f64).collect()).collect();
+    let mut dsts: Vec<Vec<f64>> = (0..p).map(|c| vec![0.0; d.map.local_len(c)]).collect();
+
+    let iters = ((1usize << 22) / n.max(1)).clamp(3, 200);
+
+    // Correctness cross-check once, outside the timers.
+    let plans: Vec<Plan1> =
+        (0..p).map(|me| Plan1::build(me, &s, &d, 0..n, 0)).collect();
+    plan_exec(p, &plans, &srcs, &mut dsts);
+    let via_plan = dsts.clone();
+    for b in dsts.iter_mut() {
+        b.iter_mut().for_each(|v| *v = 0.0);
+    }
+    legacy_iter(p, &s, &d, n, &srcs, &mut dsts);
+    assert_eq!(via_plan, dsts, "plan and legacy moved different data ({dir}, n={n}, p={p})");
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        legacy_iter(p, &s, &d, n, &srcs, &mut dsts);
+    }
+    let legacy_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        let plans: Vec<Plan1> =
+            (0..p).map(|me| Plan1::build(me, &s, &d, 0..n, 0)).collect();
+        plan_exec(p, &plans, &srcs, &mut dsts);
+    }
+    let build_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        plan_exec(p, &plans, &srcs, &mut dsts);
+    }
+    let replay_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    Row { dir, n, p, legacy_ns, build_ns, replay_ns }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:>16} {:>9} {:>4} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "direction", "n", "p", "legacy ns", "build ns", "replay ns", "vs leg", "vs build"
+    );
+    for &(dir, sd, dd) in
+        &[("block_to_cyclic", Dist::Block, Dist::Cyclic), ("cyclic_to_block", Dist::Cyclic, Dist::Block)]
+    {
+        for k in [10usize, 12, 14, 16, 18, 20] {
+            let n = 1usize << k;
+            for p in [4usize, 16, 64] {
+                let r = bench_case(dir, sd, dd, n, p);
+                println!(
+                    "{:>16} {:>9} {:>4} {:>14.0} {:>14.0} {:>14.0} {:>7.1}x {:>7.1}x",
+                    r.dir,
+                    r.n,
+                    r.p,
+                    r.legacy_ns,
+                    r.build_ns,
+                    r.replay_ns,
+                    r.legacy_ns / r.replay_ns,
+                    r.build_ns / r.replay_ns
+                );
+                rows.push(r);
+            }
+        }
+    }
+
+    // The acceptance case of the plan-cache work: an m-iteration pipeline
+    // pays build once and replay m-1 times.
+    if let Some(r) = rows.iter().find(|r| {
+        r.dir == "block_to_cyclic" && r.n == 1 << 18 && r.p == 64
+    }) {
+        let s_leg = r.legacy_ns / r.replay_ns;
+        let s_bld = r.build_ns / r.replay_ns;
+        println!(
+            "\nn=2^18 p=64 block->cyclic: replay {s_leg:.1}x faster than legacy, \
+             {s_bld:.1}x faster than build+exec"
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"redist_host_time\",\n  \"unit\": \"ns_per_iteration_all_ranks\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"direction\": \"{}\", \"n\": {}, \"p\": {}, \"legacy_ns\": {:.0}, \
+             \"plan_build_ns\": {:.0}, \"plan_replay_ns\": {:.0}, \
+             \"replay_speedup_vs_legacy\": {:.2}, \"replay_speedup_vs_build\": {:.2}}}{}\n",
+            r.dir,
+            r.n,
+            r.p,
+            r.legacy_ns,
+            r.build_ns,
+            r.replay_ns,
+            r.legacy_ns / r.replay_ns,
+            r.build_ns / r.replay_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_redist.json", &json).expect("write BENCH_redist.json");
+    println!("\nwrote BENCH_redist.json ({} cases)", rows.len());
+}

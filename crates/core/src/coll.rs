@@ -23,20 +23,35 @@ impl Cx<'_> {
     /// maximum arrival time plus the tree latency — the behaviour of a real
     /// subset barrier.
     pub fn barrier(&mut self) {
-        let _ = self.reduce(0, (), |(), ()| ());
-        self.bcast(0, ());
+        // The reduce's Option result (Some on the root, None elsewhere) is
+        // exactly the broadcast leg's input — no placeholder value needed.
+        let token = self.reduce(0, (), |(), ()| ());
+        self.bcast_opt(0, token);
     }
 
     /// Broadcast `value` from virtual rank `root` to every member of the
     /// current group. All members receive the value (the root keeps its
     /// own). Binomial tree: log2(p) message steps.
     pub fn bcast<T: Payload + Clone>(&mut self, root: usize, value: T) -> T {
+        let mine = if self.id() == root { Some(value) } else { None };
+        self.bcast_opt(root, mine)
+    }
+
+    /// Broadcast the root's `Some` value; non-roots pass `None` (their
+    /// argument is never sent, so allreduce-style call sites don't have to
+    /// clone a placeholder). Same tag allocation and message schedule as
+    /// [`Cx::bcast`].
+    fn bcast_opt<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
         let p = self.nprocs();
         assert!(root < p, "bcast root {root} out of range for group of {p}");
         let tag = self.next_op_tag();
         let me = self.id();
         let rel = (me + p - root) % p;
-        let mut slot: Option<T> = if rel == 0 { Some(value) } else { None };
+        debug_assert!(
+            (rel == 0) == value.is_some(),
+            "bcast_opt: exactly the root supplies a value"
+        );
+        let mut slot: Option<T> = value;
         let mut mask = 1usize;
         while mask < p {
             if rel < mask {
@@ -94,13 +109,8 @@ impl Cx<'_> {
         T: Payload + Clone,
         F: Fn(T, T) -> T,
     {
-        // Non-roots keep a clone as a placeholder for the broadcast leg;
-        // bcast ignores values supplied by non-roots.
-        let placeholder = value.clone();
-        match self.reduce(0, value, f) {
-            Some(v) => self.bcast(0, v),
-            None => self.bcast(0, placeholder),
-        }
+        let reduced = self.reduce(0, value, f);
+        self.bcast_opt(0, reduced)
     }
 
     /// Gather each member's value to `root`, in virtual-rank order.
@@ -126,27 +136,22 @@ impl Cx<'_> {
     }
 
     /// Gather everyone's value to every member (gather + broadcast).
-    pub fn allgather<T: Payload + Copy>(&mut self, value: T) -> Vec<T> {
-        match self.gather(0, value) {
-            Some(all) => self.bcast(0, all),
-            None => self.bcast(0, Vec::new()),
-        }
+    pub fn allgather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast_opt(0, gathered)
     }
 
     /// All-gather of variable-length vectors: every member contributes a
     /// `Vec<T>` and receives all members' vectors in virtual-rank order.
     /// (Nested vectors are flattened for the broadcast leg, so only flat
     /// buffers travel on the wire.)
-    pub fn allgather_vecs<T: Copy + Send + 'static>(&mut self, value: Vec<T>) -> Vec<Vec<T>> {
-        let packed = match self.gather(0, value) {
-            Some(vs) => {
-                let lens: Vec<u64> = vs.iter().map(|v| v.len() as u64).collect();
-                let flat: Vec<T> = vs.into_iter().flatten().collect();
-                (flat, lens)
-            }
-            None => (Vec::new(), Vec::new()),
-        };
-        let (flat, lens): (Vec<T>, Vec<u64>) = self.bcast(0, packed);
+    pub fn allgather_vecs<T: Clone + Send + 'static>(&mut self, value: Vec<T>) -> Vec<Vec<T>> {
+        let packed = self.gather(0, value).map(|vs| {
+            let lens: Vec<u64> = vs.iter().map(|v| v.len() as u64).collect();
+            let flat: Vec<T> = vs.into_iter().flatten().collect();
+            (flat, lens)
+        });
+        let (flat, lens): (Vec<T>, Vec<u64>) = self.bcast_opt(0, packed);
         let mut out = Vec::with_capacity(lens.len());
         let mut off = 0usize;
         for l in lens {

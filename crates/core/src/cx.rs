@@ -11,6 +11,7 @@ use fx_runtime::{Machine, Payload, ProcCtx, RunReport, TimeMode};
 
 use crate::group::{Frame, GroupHandle};
 use crate::hash::{mix2, mix3, WORLD_GID};
+use crate::plancache::PlanCache;
 
 /// Salt separating user point-to-point tags from collective tags.
 const USER_SALT: u64 = 0xFACE_0FF0;
@@ -24,6 +25,10 @@ const USER_SALT: u64 = 0xFACE_0FF0;
 pub struct Cx<'a> {
     rt: &'a mut ProcCtx,
     stack: Vec<Frame>,
+    /// Cached communication plans (see [`PlanCache`]). Per-processor, like
+    /// the context itself; survives group entry/exit so a plan built inside
+    /// one `ON SUBGROUP` execution is reused by the next.
+    plans: PlanCache,
 }
 
 impl<'a> Cx<'a> {
@@ -31,7 +36,7 @@ impl<'a> Cx<'a> {
         let n = rt.nprocs();
         let world = GroupHandle::new(WORLD_GID, Arc::new((0..n).collect()));
         let vrank = rt.rank();
-        Cx { rt, stack: vec![Frame::new(world, vrank)] }
+        Cx { rt, stack: vec![Frame::new(world, vrank)], plans: PlanCache::default() }
     }
 
     // ----- identity ------------------------------------------------------
@@ -193,6 +198,39 @@ impl<'a> Cx<'a> {
     /// Escape hatch to the raw runtime context.
     pub fn runtime(&mut self) -> &mut ProcCtx {
         self.rt
+    }
+
+    // ----- communication-plan cache ---------------------------------------
+
+    /// Look up a communication plan by `key`, building it with `build` on a
+    /// miss. Hits and misses are counted on the runtime's
+    /// [`fx_runtime::PlanStats`] (host-side instrumentation only — the
+    /// virtual clock is untouched, so caching cannot change simulated
+    /// time).
+    ///
+    /// Keys are compared by exact equality; the data-parallel layer encodes
+    /// everything a plan depends on (distributions, group ids, array
+    /// extents, ranges, shifts) into its key types.
+    pub fn plan_cached<K, P, F>(&mut self, key: K, build: F) -> Arc<P>
+    where
+        K: Eq + std::hash::Hash + Send + 'static,
+        P: Send + Sync + 'static,
+        F: FnOnce() -> P,
+    {
+        let (plan, hit) = self.plans.get_or_build(key, build);
+        if hit {
+            self.rt.note_plan_hit();
+        } else {
+            self.rt.note_plan_miss();
+        }
+        plan
+    }
+
+    /// Report host nanoseconds spent packing/unpacking along plan runs
+    /// (aggregated into [`fx_runtime::PlanStats`]).
+    #[inline]
+    pub fn note_pack_ns(&mut self, ns: u64) {
+        self.rt.add_pack_ns(ns);
     }
 
     #[inline]

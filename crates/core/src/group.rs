@@ -35,6 +35,14 @@ impl GroupHandle {
         self.gid
     }
 
+    /// Construct a handle directly, outside a running machine — for
+    /// benchmarks and tests that exercise communication *planning*, which
+    /// is pure metadata arithmetic. Not part of the model API.
+    #[doc(hidden)]
+    pub fn synthetic(gid: u64, members: Vec<usize>) -> Self {
+        GroupHandle::new(gid, Arc::new(members))
+    }
+
     /// Number of processors in the group.
     pub fn len(&self) -> usize {
         self.members.len()

@@ -42,9 +42,11 @@ mod hash;
 mod hpf;
 mod pdo;
 mod partition;
+mod plancache;
 mod region;
 
 pub use cx::{spmd, Cx};
+pub use plancache::PlanCache;
 pub use group::GroupHandle;
 pub use partition::{proportional_split, Size, Subgroup, TaskPartition};
 pub use pdo::IterSched;

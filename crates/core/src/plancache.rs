@@ -1,0 +1,194 @@
+//! Per-processor cache of communication plans.
+//!
+//! The data-parallel layer (fx-darray) computes interval-based
+//! communication plans for redistribution, halo exchange, and
+//! repartitioning. A plan depends only on static descriptors — array
+//! distributions, group identities, ranges and shifts — so an m-iteration
+//! pipeline re-executing the same assignment can build the plan once and
+//! replay it m−1 times. This module provides the cache those plans live
+//! in, hung off [`crate::Cx`] (one per processor, like everything else in
+//! the SPMD model, so no locking is involved).
+//!
+//! The cache is type-erased: fx-core cannot name fx-darray's plan or key
+//! types, so keys are stored as `Box<dyn Any>` compared via downcast, and
+//! values as `Arc<dyn Any + Send + Sync>`. Lookup is by *exact* key
+//! equality (the 64-bit hash only selects a bucket), so two distinct
+//! descriptors can never alias to the same plan.
+//!
+//! Eviction is LRU by a monotone use tick, bounded by a fixed capacity —
+//! enough for every distinct statement of the paper's applications while
+//! keeping a runaway program (e.g. one redistributing through a fresh
+//! group each iteration) from growing without bound.
+
+use std::any::{Any, TypeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Maximum number of cached plans per processor before LRU eviction.
+const PLAN_CACHE_CAP: usize = 64;
+
+/// A cache key, type-erased. Equality goes through `Any` downcast: keys of
+/// different concrete types are never equal.
+trait DynKey: Send {
+    fn eq_key(&self, other: &dyn Any) -> bool;
+}
+
+impl<K: Eq + Send + 'static> DynKey for K {
+    fn eq_key(&self, other: &dyn Any) -> bool {
+        other.downcast_ref::<K>() == Some(self)
+    }
+}
+
+struct Entry {
+    key: Box<dyn DynKey>,
+    value: Arc<dyn Any + Send + Sync>,
+    last_used: u64,
+}
+
+/// An exact-key, LRU-bounded map from plan descriptors to cached plans.
+#[derive(Default)]
+pub struct PlanCache {
+    /// Hash buckets; collisions are resolved by exact key equality.
+    buckets: HashMap<u64, Vec<Entry>>,
+    /// Monotone use counter driving LRU eviction.
+    tick: u64,
+    len: usize,
+}
+
+impl PlanCache {
+    /// Look up the plan for `key`, building and inserting it on a miss.
+    /// Returns the plan and whether this was a cache hit.
+    pub fn get_or_build<K, P, F>(&mut self, key: K, build: F) -> (Arc<P>, bool)
+    where
+        K: Eq + Hash + Send + 'static,
+        P: Send + Sync + 'static,
+        F: FnOnce() -> P,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        // DefaultHasher::new() is deterministic (unlike RandomState), so
+        // cache behaviour — and with it the hit/miss counters tests assert
+        // on — is reproducible across runs.
+        let mut hasher = DefaultHasher::new();
+        TypeId::of::<K>().hash(&mut hasher);
+        key.hash(&mut hasher);
+        let h = hasher.finish();
+
+        if let Some(bucket) = self.buckets.get_mut(&h) {
+            for e in bucket.iter_mut() {
+                if e.key.eq_key(&key) {
+                    e.last_used = tick;
+                    let value = Arc::clone(&e.value)
+                        .downcast::<P>()
+                        .expect("PlanCache: equal keys must cache equal plan types");
+                    return (value, true);
+                }
+            }
+        }
+
+        let value = Arc::new(build());
+        let erased: Arc<dyn Any + Send + Sync> = Arc::clone(&value) as _;
+        self.buckets.entry(h).or_default().push(Entry {
+            key: Box::new(key),
+            value: erased,
+            last_used: tick,
+        });
+        self.len += 1;
+        if self.len > PLAN_CACHE_CAP {
+            self.evict_lru();
+        }
+        (value, false)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove the least-recently-used entry.
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(u64, u64)> = None; // (last_used, bucket hash)
+        for (&h, bucket) in &self.buckets {
+            for e in bucket {
+                if victim.is_none_or(|(t, _)| e.last_used < t) {
+                    victim = Some((e.last_used, h));
+                }
+            }
+        }
+        if let Some((t, h)) = victim {
+            let bucket = self.buckets.get_mut(&h).expect("victim bucket exists");
+            bucket.retain(|e| e.last_used != t);
+            if bucket.is_empty() {
+                self.buckets.remove(&h);
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_once_then_hit() {
+        let mut c = PlanCache::default();
+        let mut builds = 0;
+        let (v1, hit1) = c.get_or_build((1u64, 2u64), || {
+            builds += 1;
+            "plan".to_string()
+        });
+        let (v2, hit2) = c.get_or_build((1u64, 2u64), || {
+            builds += 1;
+            "never".to_string()
+        });
+        assert!(!hit1 && hit2);
+        assert_eq!(builds, 1);
+        assert_eq!(*v1, "plan");
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_plans() {
+        let mut c = PlanCache::default();
+        let (a, _) = c.get_or_build(1u32, || 10i64);
+        let (b, _) = c.get_or_build(2u32, || 20i64);
+        assert_eq!((*a, *b), (10, 20));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn same_value_different_key_types_do_not_alias() {
+        let mut c = PlanCache::default();
+        let (a, _) = c.get_or_build(7u32, || 1i8);
+        let (b, hit) = c.get_or_build(7u64, || 2i8);
+        assert!(!hit, "different key types must miss");
+        assert_eq!((*a, *b), (1, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = PlanCache::default();
+        for i in 0..PLAN_CACHE_CAP {
+            c.get_or_build(i, || i);
+        }
+        assert_eq!(c.len(), PLAN_CACHE_CAP);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        let (_, hit) = c.get_or_build(0usize, || usize::MAX);
+        assert!(hit);
+        c.get_or_build(PLAN_CACHE_CAP, || 0usize);
+        assert_eq!(c.len(), PLAN_CACHE_CAP);
+        let (_, hit0) = c.get_or_build(0usize, || usize::MAX);
+        let (_, hit1) = c.get_or_build(1usize, || usize::MAX);
+        assert!(hit0, "recently used entry survived");
+        assert!(!hit1, "LRU entry was evicted");
+    }
+}

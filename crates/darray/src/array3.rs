@@ -236,16 +236,15 @@ impl<T: Elem> DArray3<T> {
     pub(crate) fn maps(&self) -> &[DimMap; 3] {
         &self.maps
     }
-
-    pub(crate) fn grid(&self) -> (usize, usize, usize) {
-        self.grid
-    }
 }
 
 /// Distributed assignment `dst = src` between 3-D arrays of the same
 /// shape (any distributions/groups) — the 3-D analogue of
 /// [`crate::assign2`], with the same minimal-processor-subset skipping.
 pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
+    use crate::plan::{pack3, unpack3, Key3, Plan3, Side3};
+    use std::time::Instant;
+
     assert_eq!(dst.shape(), src.shape(), "assign3 shape mismatch");
     let tag = cx.next_op_tag();
     let me = cx.phys_rank();
@@ -253,68 +252,42 @@ pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
         return; // minimal-subset skip
     }
 
-    let s_maps = *src.maps();
-    let d_maps = *dst.maps();
-    let s_group = src.group().clone();
-    let d_group = dst.group().clone();
-    let (_, sp1, sp2) = src.grid();
-    let (_, dp1, dp2) = dst.grid();
-    let (sl0, sl1, sl2) = src.local_dims();
-    let (_dl0, dl1, dl2) = dst.local_dims();
-    let _ = (sl0,);
+    let key = Key3 {
+        sgid: src.group().gid(),
+        smaps: *src.maps(),
+        dgid: dst.group().gid(),
+        dmaps: *dst.maps(),
+    };
+    let plan = {
+        let s = Side3 { group: src.group().clone(), maps: key.smaps };
+        let d = Side3 { group: dst.group().clone(), maps: key.dmaps };
+        cx.plan_cached(key, move || Plan3::build(me, &s, &d))
+    };
 
-    let mut sends: std::collections::BTreeMap<usize, Vec<T>> = Default::default();
-    let mut recvs: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-    let mut local_bytes = 0usize;
-    let [d0, d1, d2] = dst.shape();
-
-    for i0 in 0..d0 {
-        for i1 in 0..d1 {
-            for i2 in 0..d2 {
-                let sp = s_group.phys(
-                    s_maps[0].owner(i0) * sp1 * sp2
-                        + s_maps[1].owner(i1) * sp2
-                        + s_maps[2].owner(i2),
-                );
-                let dp = d_group.phys(
-                    d_maps[0].owner(i0) * dp1 * dp2
-                        + d_maps[1].owner(i1) * dp2
-                        + d_maps[2].owner(i2),
-                );
-                if sp == me {
-                    let slot = (s_maps[0].local_of(i0) * sl1 + s_maps[1].local_of(i1)) * sl2
-                        + s_maps[2].local_of(i2);
-                    let v = src.local()[slot];
-                    if dp == me {
-                        let dslot = (d_maps[0].local_of(i0) * dl1 + d_maps[1].local_of(i1))
-                            * dl2
-                            + d_maps[2].local_of(i2);
-                        dst.local_mut()[dslot] = v;
-                        local_bytes += std::mem::size_of::<T>();
-                    } else {
-                        sends.entry(dp).or_default().push(v);
-                    }
-                } else if dp == me {
-                    let dslot = (d_maps[0].local_of(i0) * dl1 + d_maps[1].local_of(i1)) * dl2
-                        + d_maps[2].local_of(i2);
-                    recvs.entry(sp).or_default().push(dslot);
-                }
-            }
-        }
+    let mut pack_ns = 0u64;
+    let t0 = Instant::now();
+    let mut local_total = 0usize;
+    if let Some((s_runs, d_runs)) = &plan.local {
+        let tmp = pack3(src.local(), plan.src_pitch, &s_runs.dims, s_runs.total);
+        unpack3(dst.local_mut(), plan.dst_pitch, &d_runs.dims, &tmp);
+        local_total = s_runs.total;
     }
-
-    cx.charge_mem_bytes(2.0 * local_bytes as f64);
-    for (dp, buf) in sends {
-        cx.send_phys(dp, tag, buf);
+    pack_ns += t0.elapsed().as_nanos() as u64;
+    cx.charge_mem_bytes(2.0 * (local_total * std::mem::size_of::<T>()) as f64);
+    for p in &plan.sends {
+        let t = Instant::now();
+        let buf = pack3(src.local(), plan.src_pitch, &p.dims, p.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_phys(p.peer, tag, buf);
     }
-    for (sp, slots) in recvs {
-        let buf: Vec<T> = cx.recv_phys(sp, tag);
-        debug_assert_eq!(buf.len(), slots.len(), "communication set mismatch");
-        let local = dst.local_mut();
-        for (slot, v) in slots.into_iter().zip(buf) {
-            local[slot] = v;
-        }
+    for p in &plan.recvs {
+        let buf: Vec<T> = cx.recv_phys(p.peer, tag);
+        debug_assert_eq!(buf.len(), p.total, "communication set mismatch");
+        let t = Instant::now();
+        unpack3(dst.local_mut(), plan.dst_pitch, &p.dims, &buf);
+        pack_ns += t.elapsed().as_nanos() as u64;
     }
+    cx.note_pack_ns(pack_ns);
 }
 
 /// Ghost planes along dimension 1 (the distributed dimension of a
@@ -344,7 +317,7 @@ pub fn exchange_plane_halo<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -
     );
     let tag = cx.next_op_tag();
     let me = cx.id();
-    let (l0, l1, l2) = a.local_dims();
+    let l1 = a.local_dims().1;
     assert!(
         l1 == 0 || l1 >= width,
         "processor {me} owns {l1} planes, fewer than the halo width {width}"
@@ -352,30 +325,69 @@ pub fn exchange_plane_halo<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -
     if l1 == 0 {
         return PlaneHalo { before: Vec::new(), after: Vec::new() };
     }
-    let first = a.global_of_local(0, 0, 0).1;
-    let last = a.global_of_local(0, l1 - 1, 0).1;
-    let before_exists = first > 0;
-    let after_exists = last + 1 < a.shape()[1];
+    use crate::plan::{pack_seg_runs, Seg};
 
-    // Pack `width` planes starting at local plane `lo`.
-    let pack = |lo: usize| -> Vec<T> {
-        let mut buf = Vec::with_capacity(width * l0 * l2);
-        for w in 0..width {
-            for a0 in 0..l0 {
-                let base = (a0 * l1 + lo + w) * l2;
-                buf.extend_from_slice(&a.local()[base..base + l2]);
-            }
+    /// Cache key / schedule for the plane exchange, mirroring the 2-D
+    /// halo plans in `halo.rs`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct PlaneKey {
+        gid: u64,
+        maps: [DimMap; 3],
+        width: usize,
+    }
+    struct PlanePlan {
+        before: Option<Vec<Seg>>,
+        after: Option<Vec<Seg>>,
+        total: usize,
+    }
+
+    let key = PlaneKey { gid: a.group().gid(), maps: *a.maps(), width };
+    // A (*, BLOCK, *) grid puts virtual rank `me` at dim-1 coordinate
+    // `me`. Plane `lo+w` is one strided run over the l0 outer slabs.
+    let plan = cx.plan_cached(key, move || {
+        let l0 = key.maps[0].n;
+        let l1 = key.maps[1].local_len(me);
+        let l2 = key.maps[2].n;
+        let first = key.maps[1].global_of(me, 0);
+        let last = key.maps[1].global_of(me, l1 - 1);
+        let planes = |lo: usize| -> Vec<Seg> {
+            (0..width)
+                .map(|w| Seg { start: (lo + w) * l2, len: l2, stride: l1 * l2, count: l0 })
+                .collect()
+        };
+        PlanePlan {
+            before: (first > 0).then(|| planes(0)),
+            after: (last + 1 < key.maps[1].n).then(|| planes(l1 - width)),
+            total: width * l0 * l2,
         }
-        buf
-    };
-    if before_exists {
-        cx.send_v(me - 1, tag, pack(0));
+    });
+    #[cfg(debug_assertions)]
+    {
+        let (l0, _, l2) = a.local_dims();
+        debug_assert_eq!(plan.before.is_some(), a.global_of_local(0, 0, 0).1 > 0);
+        debug_assert_eq!(
+            plan.after.is_some(),
+            a.global_of_local(0, l1 - 1, 0).1 + 1 < a.shape()[1]
+        );
+        debug_assert_eq!(plan.total, width * l0 * l2);
     }
-    if after_exists {
-        cx.send_v(me + 1, tag, pack(l1 - width));
+
+    let mut pack_ns = 0u64;
+    if let Some(runs) = &plan.before {
+        let t = std::time::Instant::now();
+        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_v(me - 1, tag, buf);
     }
-    let before = if before_exists { cx.recv_v(me - 1, tag) } else { Vec::new() };
-    let after = if after_exists { cx.recv_v(me + 1, tag) } else { Vec::new() };
+    if let Some(runs) = &plan.after {
+        let t = std::time::Instant::now();
+        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_v(me + 1, tag, buf);
+    }
+    cx.note_pack_ns(pack_ns);
+    let before = if plan.before.is_some() { cx.recv_v(me - 1, tag) } else { Vec::new() };
+    let after = if plan.after.is_some() { cx.recv_v(me + 1, tag) } else { Vec::new() };
     PlaneHalo { before, after }
 }
 

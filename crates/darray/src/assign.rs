@@ -21,12 +21,17 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::time::Instant;
 
 use fx_core::Cx;
 
 use crate::array1::{DArray1, Dist1, Elem};
 use crate::array2::DArray2;
 use crate::dist::DimMap;
+use crate::plan::{
+    copy_seg_runs, pack2, pack_seg_runs, unpack2, unpack_seg_runs, Key1, Key2, Plan1, Plan2,
+    Side1, Side2,
+};
 
 /// Which processors take part in a parent-scope array statement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +72,81 @@ pub fn copy_remap1<T: Elem>(
 /// ```
 pub fn assign1<T: Elem>(cx: &mut Cx, dst: &mut DArray1<T>, src: &DArray1<T>) {
     assert_eq!(dst.n(), src.n(), "assign1 shape mismatch");
-    copy_remap1(cx, dst, src, |i| i);
+    let n = dst.n();
+    copy_shift1_range(cx, dst, 0..n, src, 0, Participation::Minimal);
+}
+
+/// `dst[i] = src[i + shift]` for `i` in `range` — the affine special case
+/// of [`copy_remap1_range`] (plain assignment, sub-range merges, end-off
+/// shifts), executed through a cached interval-based communication plan.
+///
+/// The shifted range must lie within the source extent. Must be called by
+/// **every** member of the current group (SPMD), even those that skip.
+pub fn copy_shift1_range<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray1<T>,
+    range: Range<usize>,
+    src: &DArray1<T>,
+    shift: isize,
+    mode: Participation,
+) {
+    assert!(range.end <= dst.n(), "range {range:?} exceeds dst extent {}", dst.n());
+    if !range.is_empty() {
+        let lo = range.start as isize + shift;
+        let hi = (range.end - 1) as isize + shift;
+        debug_assert!(
+            lo >= 0 && (hi as usize) < src.n(),
+            "shifted range {range:?}{shift:+} outside src extent {}",
+            src.n()
+        );
+    }
+    let tag = cx.next_op_tag();
+    if mode == Participation::WholeGroup {
+        cx.barrier();
+    }
+    let me = cx.phys_rank();
+    if !src.is_member() && !dst.is_member() {
+        return; // minimal-subset skip
+    }
+
+    let key = Key1 {
+        sgid: src.group().gid(),
+        smap: *src.map(),
+        srep: matches!(src.dist(), Dist1::Replicated),
+        dgid: dst.group().gid(),
+        dmap: *dst.map(),
+        drep: matches!(dst.dist(), Dist1::Replicated),
+        range: (range.start, range.end),
+        delta: shift,
+    };
+    let plan = {
+        let s = Side1 { group: src.group().clone(), map: key.smap, replicated: key.srep };
+        let d = Side1 { group: dst.group().clone(), map: key.dmap, replicated: key.drep };
+        cx.plan_cached(key, move || Plan1::build(me, &s, &d, range, shift))
+    };
+
+    // Same observable schedule as the legacy path: local leg, memory
+    // charge, sends ascending by destination, then receives ascending by
+    // source. Pack/unpack host time is reported out-of-band.
+    let mut pack_ns = 0u64;
+    let t0 = Instant::now();
+    copy_seg_runs(src.local(), &plan.local_src, dst.local_mut(), &plan.local_dst);
+    pack_ns += t0.elapsed().as_nanos() as u64;
+    cx.charge_mem_bytes(2.0 * (plan.local_total * std::mem::size_of::<T>()) as f64);
+    for pr in &plan.sends {
+        let t = Instant::now();
+        let buf = pack_seg_runs(src.local(), &pr.runs, pr.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_phys(pr.peer, tag, buf);
+    }
+    for pr in &plan.recvs {
+        let buf: Vec<T> = cx.recv_phys(pr.peer, tag);
+        debug_assert_eq!(buf.len(), pr.total, "communication set mismatch");
+        let t = Instant::now();
+        unpack_seg_runs(dst.local_mut(), &pr.runs, &buf);
+        pack_ns += t.elapsed().as_nanos() as u64;
+    }
+    cx.note_pack_ns(pack_ns);
 }
 
 /// Immutable placement descriptor extracted from a 1-D array so that
@@ -198,9 +277,19 @@ pub fn copy_remap2<T: Elem>(
 /// `A2 = A1` of Figure 2 — same global shape, possibly different
 /// distributions *and* different processor subgroups).
 pub fn assign2<T: Elem>(cx: &mut Cx, dst: &mut DArray2<T>, src: &DArray2<T>) {
+    assign2_with(cx, dst, src, Participation::Minimal);
+}
+
+/// [`assign2`] with an explicit participation mode (the ablation knob).
+pub fn assign2_with<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray2<T>,
+    src: &DArray2<T>,
+    mode: Participation,
+) {
     assert_eq!(dst.rows(), src.rows(), "assign2 row mismatch");
     assert_eq!(dst.cols(), src.cols(), "assign2 col mismatch");
-    copy_remap2(cx, dst, src, |r, c| (r, c));
+    plan_copy2(cx, dst, src, false, mode);
 }
 
 /// Distributed transposition `dst[r][c] = src[c][r]` (the radar corner
@@ -208,7 +297,77 @@ pub fn assign2<T: Elem>(cx: &mut Cx, dst: &mut DArray2<T>, src: &DArray2<T>) {
 pub fn transpose2<T: Elem>(cx: &mut Cx, dst: &mut DArray2<T>, src: &DArray2<T>) {
     assert_eq!(dst.rows(), src.cols(), "transpose2 shape mismatch");
     assert_eq!(dst.cols(), src.rows(), "transpose2 shape mismatch");
-    copy_remap2(cx, dst, src, |r, c| (c, r));
+    plan_copy2(cx, dst, src, true, Participation::Minimal);
+}
+
+/// Plan-cached 2-D copy: `dst[r][c] = src[r][c]` (or `src[c][r]` when
+/// `transposed`). The structured counterpart of `copy_remap2_with` for the
+/// two remap functions that cover every kernel in the paper's suite.
+fn plan_copy2<T: Elem>(
+    cx: &mut Cx,
+    dst: &mut DArray2<T>,
+    src: &DArray2<T>,
+    transposed: bool,
+    mode: Participation,
+) {
+    let tag = cx.next_op_tag();
+    if mode == Participation::WholeGroup {
+        cx.barrier();
+    }
+    let me = cx.phys_rank();
+    if !src.is_member() && !dst.is_member() {
+        return; // minimal-subset skip
+    }
+
+    let key = {
+        let (s_rmap, s_cmap) = {
+            let m = src.maps();
+            (*m.0, *m.1)
+        };
+        let (d_rmap, d_cmap) = {
+            let m = dst.maps();
+            (*m.0, *m.1)
+        };
+        Key2 {
+            sgid: src.group().gid(),
+            s_rmap,
+            s_cmap,
+            dgid: dst.group().gid(),
+            d_rmap,
+            d_cmap,
+            transposed,
+        }
+    };
+    let plan = {
+        let s = Side2 { group: src.group().clone(), rmap: key.s_rmap, cmap: key.s_cmap };
+        let d = Side2 { group: dst.group().clone(), rmap: key.d_rmap, cmap: key.d_cmap };
+        cx.plan_cached(key, move || Plan2::build(me, &s, &d, transposed))
+    };
+
+    let mut pack_ns = 0u64;
+    let t0 = Instant::now();
+    let mut local_total = 0usize;
+    if let Some(l) = &plan.local {
+        let tmp = pack2(src.local(), plan.src_pitch, &l.s_outer, &l.s_inner, l.total, transposed);
+        unpack2(dst.local_mut(), plan.dst_pitch, &l.d_outer, &l.d_inner, &tmp);
+        local_total = l.total;
+    }
+    pack_ns += t0.elapsed().as_nanos() as u64;
+    cx.charge_mem_bytes(2.0 * (local_total * std::mem::size_of::<T>()) as f64);
+    for p in &plan.sends {
+        let t = Instant::now();
+        let buf = pack2(src.local(), plan.src_pitch, &p.outer, &p.inner, p.total, transposed);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_phys(p.peer, tag, buf);
+    }
+    for p in &plan.recvs {
+        let buf: Vec<T> = cx.recv_phys(p.peer, tag);
+        debug_assert_eq!(buf.len(), p.total, "communication set mismatch");
+        let t = Instant::now();
+        unpack2(dst.local_mut(), plan.dst_pitch, &p.outer, &p.inner, &buf);
+        pack_ns += t.elapsed().as_nanos() as u64;
+    }
+    cx.note_pack_ns(pack_ns);
 }
 
 /// `dst[r][c] = src[f(r, c)]` with explicit participation mode.

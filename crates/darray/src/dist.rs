@@ -12,7 +12,7 @@
 //! why it is tested to death (including property tests under `tests/`).
 
 /// Distribution of one array dimension over `q` processor-grid positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dist {
     /// Contiguous blocks of `ceil(n/q)` elements (HPF `BLOCK`).
     Block,
@@ -27,7 +27,10 @@ pub enum Dist {
 
 /// The index map of one dimension: extent `n` distributed as `dist` over
 /// `q` grid positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` make the map usable inside communication-plan cache keys
+/// (see the `plan` module): two equal maps generate identical index sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimMap {
     /// Extent of the dimension.
     pub n: usize,

@@ -9,7 +9,33 @@ use fx_core::Cx;
 
 use crate::array1::Elem;
 use crate::array2::DArray2;
-use crate::dist::Dist;
+use crate::dist::{DimMap, Dist};
+#[cfg(debug_assertions)]
+use crate::plan::segs_total;
+use crate::plan::{pack_seg_runs, Seg};
+
+/// Cache key for a halo pack plan: the array placement plus the halo
+/// width. `axis` distinguishes row from column exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct HaloKey {
+    gid: u64,
+    rmap: DimMap,
+    cmap: DimMap,
+    width: usize,
+    axis: u8,
+}
+
+/// The per-processor halo schedule: which neighbours exist and the local
+/// index runs to pack for each. Built once per (placement, width), then
+/// replayed every exchange.
+struct HaloPlan {
+    /// Runs to send to the lower-index neighbour (up/left), if any.
+    lead: Option<Vec<Seg>>,
+    /// Runs to send to the higher-index neighbour (down/right), if any.
+    trail: Option<Vec<Seg>>,
+    /// Elements per message.
+    total: usize,
+}
 
 /// Ghost rows received from the neighbours above and below this
 /// processor's block of rows. Row-major, `width x local_cols` each; empty
@@ -38,7 +64,7 @@ pub fn exchange_row_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> 
     assert_eq!(a.dist().1, Dist::Star, "row halo needs a (BLOCK, *) distribution");
     let tag = cx.next_op_tag();
     let me = cx.id();
-    let (lr, lc) = a.local_dims();
+    let lr = a.local_dims().0;
     // Members owning no rows (more processors than row blocks) sit out;
     // with a BLOCK distribution they are always at the bottom, so row
     // adjacency below is well-defined without them.
@@ -49,28 +75,54 @@ pub fn exchange_row_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> 
     if lr == 0 {
         return RowHalo { top: Vec::new(), bottom: Vec::new() };
     }
-    let first_row = a.global_of_local(0, 0).0;
-    let last_row = a.global_of_local(lr - 1, 0).0;
-    let up_exists = first_row > 0;
-    let down_exists = last_row + 1 < a.rows();
+    let key = {
+        let m = a.maps();
+        HaloKey { gid: a.group().gid(), rmap: *m.0, cmap: *m.1, width, axis: 0 }
+    };
+    // The whole schedule is a function of (placement, width, my rank): a
+    // (BLOCK, *) grid puts virtual rank `me` at row coordinate `me`.
+    let plan = cx.plan_cached(key, move || {
+        let lr = key.rmap.local_len(me);
+        let lc = key.cmap.n;
+        let first = key.rmap.global_of(me, 0);
+        let last = key.rmap.global_of(me, lr - 1);
+        HaloPlan {
+            lead: (first > 0)
+                .then(|| vec![Seg { start: 0, len: width * lc, stride: 0, count: 1 }]),
+            trail: (last + 1 < key.rmap.n).then(|| {
+                vec![Seg { start: (lr - width) * lc, len: width * lc, stride: 0, count: 1 }]
+            }),
+            total: width * lc,
+        }
+    });
+    #[cfg(debug_assertions)]
+    {
+        let lc = a.local_dims().1;
+        debug_assert_eq!(plan.lead.is_some(), a.global_of_local(0, 0).0 > 0);
+        debug_assert_eq!(plan.trail.is_some(), a.global_of_local(lr - 1, 0).0 + 1 < a.rows());
+        debug_assert_eq!(plan.total, width * lc);
+        for runs in plan.lead.iter().chain(plan.trail.iter()) {
+            debug_assert_eq!(segs_total(runs), plan.total);
+        }
+    }
 
     // Deposit sends first (non-blocking), then receive.
-    if up_exists {
-        let mut buf = Vec::with_capacity(width * lc);
-        for r in 0..width {
-            buf.extend_from_slice(a.local_row(r));
-        }
+    let mut pack_ns = 0u64;
+    if let Some(runs) = &plan.lead {
+        let t = std::time::Instant::now();
+        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
         cx.send_v(me - 1, tag, buf);
     }
-    if down_exists {
-        let mut buf = Vec::with_capacity(width * lc);
-        for r in lr - width..lr {
-            buf.extend_from_slice(a.local_row(r));
-        }
+    if let Some(runs) = &plan.trail {
+        let t = std::time::Instant::now();
+        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
         cx.send_v(me + 1, tag, buf);
     }
-    let top = if up_exists { cx.recv_v(me - 1, tag) } else { Vec::new() };
-    let bottom = if down_exists { cx.recv_v(me + 1, tag) } else { Vec::new() };
+    cx.note_pack_ns(pack_ns);
+    let top = if plan.lead.is_some() { cx.recv_v(me - 1, tag) } else { Vec::new() };
+    let bottom = if plan.trail.is_some() { cx.recv_v(me + 1, tag) } else { Vec::new() };
     RowHalo { top, bottom }
 }
 
@@ -98,7 +150,7 @@ pub fn exchange_col_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> 
     assert_eq!(a.dist().1, Dist::Block, "col halo needs a (*, BLOCK) distribution");
     let tag = cx.next_op_tag();
     let me = cx.id();
-    let (lr, lc) = a.local_dims();
+    let lc = a.local_dims().1;
     assert!(
         lc == 0 || lc >= width,
         "processor {me} owns {lc} columns, fewer than the halo width {width}"
@@ -106,27 +158,51 @@ pub fn exchange_col_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> 
     if lc == 0 {
         return ColHalo { left: Vec::new(), right: Vec::new() };
     }
-    let first_col = a.global_of_local(0, 0).1;
-    let last_col = a.global_of_local(0, lc - 1).1;
-    let left_exists = first_col > 0;
-    let right_exists = last_col + 1 < a.cols();
-
-    let pack_cols = |range: std::ops::Range<usize>| -> Vec<T> {
-        let mut buf = Vec::with_capacity(lr * width);
-        for r in 0..lr {
-            let row = a.local_row(r);
-            buf.extend_from_slice(&row[range.clone()]);
-        }
-        buf
+    let key = {
+        let m = a.maps();
+        HaloKey { gid: a.group().gid(), rmap: *m.0, cmap: *m.1, width, axis: 1 }
     };
-    if left_exists {
-        cx.send_v(me - 1, tag, pack_cols(0..width));
+    // A (*, BLOCK) grid puts virtual rank `me` at column coordinate `me`.
+    let plan = cx.plan_cached(key, move || {
+        let lr = key.rmap.n;
+        let lc = key.cmap.local_len(me);
+        let first = key.cmap.global_of(me, 0);
+        let last = key.cmap.global_of(me, lc - 1);
+        HaloPlan {
+            lead: (first > 0)
+                .then(|| vec![Seg { start: 0, len: width, stride: lc, count: lr }]),
+            trail: (last + 1 < key.cmap.n)
+                .then(|| vec![Seg { start: lc - width, len: width, stride: lc, count: lr }]),
+            total: lr * width,
+        }
+    });
+    #[cfg(debug_assertions)]
+    {
+        let lr = a.local_dims().0;
+        debug_assert_eq!(plan.lead.is_some(), a.global_of_local(0, 0).1 > 0);
+        debug_assert_eq!(plan.trail.is_some(), a.global_of_local(0, lc - 1).1 + 1 < a.cols());
+        debug_assert_eq!(plan.total, lr * width);
+        for runs in plan.lead.iter().chain(plan.trail.iter()) {
+            debug_assert_eq!(segs_total(runs), plan.total);
+        }
     }
-    if right_exists {
-        cx.send_v(me + 1, tag, pack_cols(lc - width..lc));
+
+    let mut pack_ns = 0u64;
+    if let Some(runs) = &plan.lead {
+        let t = std::time::Instant::now();
+        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_v(me - 1, tag, buf);
     }
-    let left = if left_exists { cx.recv_v(me - 1, tag) } else { Vec::new() };
-    let right = if right_exists { cx.recv_v(me + 1, tag) } else { Vec::new() };
+    if let Some(runs) = &plan.trail {
+        let t = std::time::Instant::now();
+        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.send_v(me + 1, tag, buf);
+    }
+    cx.note_pack_ns(pack_ns);
+    let left = if plan.lead.is_some() { cx.recv_v(me - 1, tag) } else { Vec::new() };
+    let right = if plan.trail.is_some() { cx.recv_v(me + 1, tag) } else { Vec::new() };
     ColHalo { left, right }
 }
 

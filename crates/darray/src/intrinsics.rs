@@ -9,7 +9,7 @@ use fx_core::Cx;
 
 use crate::array1::{DArray1, Elem};
 use crate::array2::DArray2;
-use crate::assign::{copy_remap1, copy_remap1_range, Participation};
+use crate::assign::{copy_remap1, copy_shift1_range, Participation};
 use crate::dist::Dist;
 use crate::Dist1;
 
@@ -47,7 +47,7 @@ pub fn eoshift1<T: Elem>(
     let lo = (-shift).max(0) as usize;
     let hi = (n as isize).min(n as isize - shift).max(0) as usize;
     let range = lo.min(n)..hi.clamp(lo.min(n), n);
-    copy_remap1_range(cx, dst, range, src, move |i| (i as isize + shift) as usize, Participation::Minimal);
+    copy_shift1_range(cx, dst, range, src, shift, Participation::Minimal);
 }
 
 /// Global sum of a 1-D array over its group (collective over the current

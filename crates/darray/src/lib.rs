@@ -31,14 +31,17 @@ mod dist;
 mod halo;
 mod intrinsics;
 mod pack;
+/// Cached interval-based communication plans (public so benchmarks and
+/// property tests can drive planning directly).
+pub mod plan;
 mod rootio;
 
 pub use array1::{DArray1, Dist1, Elem, OwnerSet};
 pub use array2::{DArray2, Dist2};
 pub use array3::{assign3, exchange_plane_halo, DArray3, Dist3, PlaneHalo};
 pub use assign::{
-    assign1, assign2, copy_remap1, copy_remap1_range, copy_remap2, copy_remap2_with,
-    transpose2, Participation,
+    assign1, assign2, assign2_with, copy_remap1, copy_remap1_range, copy_remap2,
+    copy_remap2_with, copy_shift1_range, transpose2, Participation,
 };
 pub use dist::{DimMap, Dist};
 pub use halo::{exchange_col_halo, exchange_row_halo, ColHalo, RowHalo};

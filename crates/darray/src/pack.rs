@@ -9,11 +9,10 @@
 //! from the globally exchanged per-processor match counts, so only
 //! processors that actually exchange elements communicate.
 
-use std::collections::BTreeMap;
-
 use fx_core::Cx;
 
 use crate::array1::{DArray1, Dist1, Elem};
+use crate::plan::{local_runs, owned_segments, unpack_seg_runs};
 
 /// Split `src` into `dst_true` (elements satisfying `pred`) and
 /// `dst_false` (the rest). The destination extents must equal the global
@@ -79,49 +78,60 @@ fn scatter_side<T: Elem>(
     let d_group = dst.group().clone();
     let d_map = *dst.map();
 
-    // Send: bucket my values by destination owner, ascending position.
-    let mut sends: BTreeMap<usize, Vec<T>> = BTreeMap::new();
-    for (k, &v) in vals.iter().enumerate() {
-        let g = off as usize + k;
-        let dp = d_group.phys(d_map.owner(g));
+    // Send: my window [off, off+len) of the destination index space,
+    // intersected with each owner's index set — contiguous slices of
+    // `vals`, not per-element buckets. The window is data-dependent
+    // (allgathered counts), so this schedule is computed fresh each call.
+    let (lo, hi) = (off as usize, off as usize + vals.len());
+    let mut segs: Vec<(usize, usize)> = Vec::new();
+    let mut sends: Vec<(usize, Vec<T>)> = Vec::new();
+    for c in 0..d_map.q {
+        segs.clear();
+        owned_segments(&d_map, c, 0, lo, hi, &mut segs);
+        if segs.is_empty() {
+            continue;
+        }
+        let total: usize = segs.iter().map(|&(_, l)| l).sum();
+        let mut buf = Vec::with_capacity(total);
+        for &(s, l) in &segs {
+            buf.extend_from_slice(&vals[s - lo..s - lo + l]);
+        }
+        let dp = d_group.phys(c);
         if dp == me {
-            let slot = d_map.local_of(g);
-            dst.local_mut()[slot] = v;
+            let runs = local_runs(&d_map, 0, &segs);
+            unpack_seg_runs(dst.local_mut(), &runs, &buf);
         } else {
-            sends.entry(dp).or_default().push(v);
+            sends.push((dp, buf));
         }
     }
+    sends.sort_by_key(|&(dp, _)| dp);
     for (dp, buf) in sends {
         cx.send_phys(dp, tag, buf);
     }
 
-    // Receive: walk every sender's range, collect the slots I own.
+    // Receive: walk every sender's range in virtual-rank order, keeping
+    // only the slots I own — as local runs rather than slot lists.
     if dst.is_member() {
+        let my_c = d_group.vrank_of_phys(me).expect("member has a coordinate");
         let cur_group = cx.group();
-        let mut start = 0u64;
+        let mut start = 0usize;
         for (v, &cnt) in counts.iter().enumerate() {
             let sp = cur_group.phys(v);
-            let range = start..start + cnt;
-            start += cnt;
+            let range = (start, start + cnt as usize);
+            start += cnt as usize;
             if sp == me || cnt == 0 {
                 continue;
             }
-            let mut slots = Vec::new();
-            for g in range {
-                let g = g as usize;
-                if d_group.phys(d_map.owner(g)) == me {
-                    slots.push(d_map.local_of(g));
-                }
-            }
-            if slots.is_empty() {
+            segs.clear();
+            owned_segments(&d_map, my_c, 0, range.0, range.1, &mut segs);
+            if segs.is_empty() {
                 continue; // no empty messages — both sides know this
             }
+            let runs = local_runs(&d_map, 0, &segs);
+            let total: usize = segs.iter().map(|&(_, l)| l).sum();
             let buf: Vec<T> = cx.recv_phys(sp, tag);
-            debug_assert_eq!(buf.len(), slots.len(), "repartition set mismatch");
-            let local = dst.local_mut();
-            for (slot, v) in slots.into_iter().zip(buf) {
-                local[slot] = v;
-            }
+            debug_assert_eq!(buf.len(), total, "repartition set mismatch");
+            unpack_seg_runs(dst.local_mut(), &runs, &buf);
         }
     }
 }

@@ -1,0 +1,1389 @@
+//! Cached interval-based communication plans.
+//!
+//! The legacy communication paths in this crate (`assign.rs`, `pack.rs`,
+//! the halo exchanges) enumerate *every global element*, asking the
+//! distribution metadata for its owner and bucketing values into
+//! `BTreeMap`s — O(n) work with a large constant, re-done on every
+//! iteration of a pipeline even though nothing about the placement
+//! changes. This module computes the same communication sets as
+//! **contiguous index runs** using a FALLS-style intersection of the
+//! regular index sets a [`DimMap`] owns (a block-cyclic ownership set is a
+//! family of evenly spaced segments), then compresses the per-peer local
+//! index lists into strided runs ([`Seg`]) so packing is `extend_from_slice`
+//! rather than a per-element push.
+//!
+//! Plans depend only on static descriptors (distributions, group ids,
+//! ranges, shifts), so they are cached per processor in
+//! [`fx_core::PlanCache`] (via `Cx::plan_cached`) and replayed: an
+//! m-iteration pipeline pays the planning cost once.
+//!
+//! **Semantics are bit-identical to the legacy paths**: same per-peer
+//! buffer contents in the same order, same message schedule (no empty
+//! messages, sends ascending by destination physical rank), same
+//! virtual-time charges. Debug builds verify every freshly built plan
+//! against the legacy per-element enumeration ([`CommSets1::legacy`] et
+//! al.), so property tests exercise both implementations at once.
+
+use std::ops::Range;
+
+use fx_core::GroupHandle;
+
+use crate::dist::{DimMap, Dist};
+
+// ---------------------------------------------------------------------------
+// Strided runs
+// ---------------------------------------------------------------------------
+
+/// A strided family of equal-length contiguous runs of local indices:
+/// `count` runs of `len` indices, the k-th starting at `start + k*stride`.
+///
+/// One `Seg` describes e.g. "every q-th element" (len 1, stride q) or a
+/// whole contiguous range (count 1) — the two shapes block/cyclic
+/// redistributions produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seg {
+    /// First index of the first run.
+    pub start: usize,
+    /// Length of each contiguous run.
+    pub len: usize,
+    /// Distance between successive run starts.
+    pub stride: usize,
+    /// Number of runs.
+    pub count: usize,
+}
+
+impl Seg {
+    /// Total number of indices covered.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.len * self.count
+    }
+}
+
+/// Total indices covered by a run list.
+pub fn segs_total(segs: &[Seg]) -> usize {
+    segs.iter().map(Seg::total).sum()
+}
+
+/// Iterator over the contiguous `(start, len)` pieces of a run list.
+pub fn pieces(segs: &[Seg]) -> impl Iterator<Item = (usize, usize)> + '_ {
+    segs.iter()
+        .flat_map(|s| (0..s.count).map(move |k| (s.start + k * s.stride, s.len)))
+}
+
+/// Copy `total` elements out of `src` along `runs` into a fresh buffer
+/// (message packing).
+pub fn pack_seg_runs<T: Copy>(src: &[T], runs: &[Seg], total: usize) -> Vec<T> {
+    let mut buf = Vec::with_capacity(total);
+    for (start, len) in pieces(runs) {
+        buf.extend_from_slice(&src[start..start + len]);
+    }
+    debug_assert_eq!(buf.len(), total);
+    buf
+}
+
+/// Scatter `buf` into `dst` along `runs` (message unpacking).
+pub fn unpack_seg_runs<T: Copy>(dst: &mut [T], runs: &[Seg], buf: &[T]) {
+    let mut off = 0;
+    for (start, len) in pieces(runs) {
+        dst[start..start + len].copy_from_slice(&buf[off..off + len]);
+        off += len;
+    }
+    debug_assert_eq!(off, buf.len());
+}
+
+/// Copy elements from `src` along `s_runs` to `dst` along `d_runs`
+/// (the local leg of a redistribution). The two run lists cover the same
+/// number of elements; piece boundaries may differ, so chunks are copied
+/// at the finer granularity.
+pub fn copy_seg_runs<T: Copy>(src: &[T], s_runs: &[Seg], dst: &mut [T], d_runs: &[Seg]) {
+    let mut sit = pieces(s_runs);
+    let mut dit = pieces(d_runs);
+    let (mut sp, mut dp) = (sit.next(), dit.next());
+    let (mut so, mut dof) = (0usize, 0usize);
+    while let (Some((ss, sl)), Some((ds, dl))) = (sp, dp) {
+        let chunk = (sl - so).min(dl - dof);
+        dst[ds + dof..ds + dof + chunk].copy_from_slice(&src[ss + so..ss + so + chunk]);
+        so += chunk;
+        dof += chunk;
+        if so == sl {
+            sp = sit.next();
+            so = 0;
+        }
+        if dof == dl {
+            dp = dit.next();
+            dof = 0;
+        }
+    }
+    debug_assert!(sp.is_none() && dp.is_none(), "local run length mismatch");
+}
+
+/// Compress an ascending list of contiguous `(start, len)` runs into
+/// strided [`Seg`]s: adjacent runs merge, then equal-length runs at a
+/// constant stride fold into one `Seg`.
+fn compress(runs: &[(usize, usize)]) -> Vec<Seg> {
+    // Pass 1: merge adjacent contiguous runs.
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(runs.len());
+    for &(s, l) in runs {
+        if l == 0 {
+            continue;
+        }
+        match merged.last_mut() {
+            Some((ps, pl)) if *ps + *pl == s => *pl += l,
+            _ => merged.push((s, l)),
+        }
+    }
+    // Pass 2: fold constant-stride sequences of equal-length runs.
+    let mut out: Vec<Seg> = Vec::new();
+    for (s, l) in merged {
+        match out.last_mut() {
+            Some(seg)
+                if seg.len == l
+                    && ((seg.count == 1 && s > seg.start)
+                        || s == seg.start + seg.count * seg.stride) =>
+            {
+                if seg.count == 1 {
+                    seg.stride = s - seg.start;
+                }
+                seg.count += 1;
+            }
+            _ => out.push(Seg { start: s, len: l, stride: 0, count: 1 }),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// FALLS-style ownership segments and intersection
+// ---------------------------------------------------------------------------
+
+/// Append the ascending segments of `{ g in [lo, hi) : 0 <= g+delta < n
+/// and map.owner(g+delta) == c }` — the global indices whose *shifted*
+/// image lives on grid coordinate `c`. Each emitted segment lies within a
+/// single ownership block of `map`, so its local image is contiguous.
+pub fn owned_segments(
+    map: &DimMap,
+    c: usize,
+    delta: isize,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
+    if lo >= hi || map.n == 0 {
+        return;
+    }
+    let n = map.n as isize;
+    let (lo_i, hi_i) = (lo as isize, hi as isize);
+    let mut push_clipped = |a: isize, e: isize| {
+        let a = a.max(lo_i);
+        let e = e.min(hi_i);
+        if e > a {
+            out.push((a as usize, (e - a) as usize));
+        }
+    };
+    // (base, blen, per): first block [base, base+blen), repeating at +per.
+    let (base, blen, per) = match map.dist {
+        Dist::Star => {
+            push_clipped(-delta, n - delta);
+            return;
+        }
+        Dist::Block => {
+            let b = map.n.div_ceil(map.q).max(1) as isize;
+            let start = c as isize * b;
+            push_clipped(start - delta, (start + b).min(n) - delta);
+            return;
+        }
+        Dist::Cyclic if map.q == 1 => {
+            push_clipped(-delta, n - delta);
+            return;
+        }
+        Dist::BlockCyclic(_) if map.q == 1 => {
+            push_clipped(-delta, n - delta);
+            return;
+        }
+        Dist::Cyclic => (c as isize, 1isize, map.q as isize),
+        Dist::BlockCyclic(b) => {
+            (c as isize * b as isize, b as isize, (b * map.q) as isize)
+        }
+    };
+    // First block whose translated image ends after `lo`:
+    // k*per + base + blen - delta > lo  ⇔  k > (lo + delta - base - blen)/per.
+    let k0 = ((lo_i + delta - base - blen).div_euclid(per) + 1).max(0);
+    let mut k = k0;
+    loop {
+        let s = k * per + base;
+        if s >= n || s - delta >= hi_i {
+            break;
+        }
+        push_clipped(s - delta, (s + blen).min(n) - delta);
+        k += 1;
+    }
+}
+
+/// Two-pointer intersection of two ascending disjoint segment lists.
+fn intersect_segs(a: &[(usize, usize)], b: &[(usize, usize)], out: &mut Vec<(usize, usize)>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (as_, al) = a[i];
+        let (bs, bl) = b[j];
+        let (ae, be) = (as_ + al, bs + bl);
+        let s = as_.max(bs);
+        let e = ae.min(be);
+        if e > s {
+            out.push((s, e - s));
+        }
+        if ae <= be {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Convert ascending global segments (each within one ownership block of
+/// `map` after shifting by `delta`) to compressed local runs.
+pub fn local_runs(map: &DimMap, delta: isize, segs: &[(usize, usize)]) -> Vec<Seg> {
+    let runs: Vec<(usize, usize)> = segs
+        .iter()
+        .map(|&(s, l)| (map.local_of((s as isize + delta) as usize), l))
+        .collect();
+    compress(&runs)
+}
+
+// ---------------------------------------------------------------------------
+// 1-D plans
+// ---------------------------------------------------------------------------
+
+/// One peer's share of a plan: strided local-index runs covering `total`
+/// elements, packed/unpacked in run order (ascending destination global
+/// index — the legacy element order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerRuns {
+    /// Physical rank of the peer.
+    pub peer: usize,
+    /// Total element count exchanged with this peer.
+    pub total: usize,
+    /// Local-index runs (into src storage for sends, dst storage for recvs).
+    pub runs: Vec<Seg>,
+}
+
+/// Placement descriptor of one side of a 1-D redistribution.
+#[derive(Debug, Clone)]
+pub struct Side1 {
+    /// The group the array lives on.
+    pub group: GroupHandle,
+    /// Index map (`Star` with `q == 1` for replicated arrays).
+    pub map: DimMap,
+    /// Fully replicated array (every member holds the whole extent)?
+    pub replicated: bool,
+}
+
+impl Side1 {
+    /// Physical processor serving global data to destination processor
+    /// `dp` (the replicated-source rule of the legacy path).
+    fn serve(&self, dp: usize) -> usize {
+        debug_assert!(self.replicated);
+        if self.group.contains_phys(dp) {
+            dp
+        } else {
+            self.group.phys(dp % self.group.len())
+        }
+    }
+}
+
+/// Cache key for a 1-D shifted-copy plan (`dst[i] = src[i+delta]` over a
+/// range). Group ids pin the member lists; the maps pin the index sets;
+/// together they determine the plan for a given processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key1 {
+    /// Source group id.
+    pub sgid: u64,
+    /// Source index map.
+    pub smap: DimMap,
+    /// Source replicated?
+    pub srep: bool,
+    /// Destination group id.
+    pub dgid: u64,
+    /// Destination index map.
+    pub dmap: DimMap,
+    /// Destination replicated?
+    pub drep: bool,
+    /// Destination index range `(start, end)`.
+    pub range: (usize, usize),
+    /// Shift: `dst[i] = src[i + delta]`.
+    pub delta: isize,
+}
+
+/// A 1-D communication plan for one processor: who to send to / receive
+/// from, as strided local runs, plus the purely local leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan1 {
+    /// Outgoing messages, ascending by destination physical rank.
+    pub sends: Vec<PeerRuns>,
+    /// Incoming messages, ascending by source physical rank.
+    pub recvs: Vec<PeerRuns>,
+    /// Local-leg source runs (into src storage).
+    pub local_src: Vec<Seg>,
+    /// Local-leg destination runs (into dst storage).
+    pub local_dst: Vec<Seg>,
+    /// Local-leg element count.
+    pub local_total: usize,
+}
+
+impl Plan1 {
+    /// Build the plan for processor `me`: `dst[i] = src[i + delta]` for
+    /// `i` in `range`. Debug builds verify the result against the legacy
+    /// per-element enumeration.
+    pub fn build(me: usize, s: &Side1, d: &Side1, range: Range<usize>, delta: isize) -> Plan1 {
+        let mut plan = Plan1 {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            local_src: Vec::new(),
+            local_dst: Vec::new(),
+            local_total: 0,
+        };
+        let (lo, hi) = (range.start, range.end);
+        let mut d_segs: Vec<(usize, usize)> = Vec::new();
+        let mut inter: Vec<(usize, usize)> = Vec::new();
+
+        // --- Sender role -------------------------------------------------
+        let my_src_coord = if s.replicated {
+            s.group.contains_phys(me).then_some(0)
+        } else {
+            s.group.vrank_of_phys(me)
+        };
+        if let Some(sc) = my_src_coord {
+            let mut my_src: Vec<(usize, usize)> = Vec::new();
+            owned_segments(&s.map, sc, delta, lo, hi, &mut my_src);
+            // Destination targets: every member for replicated dst, one
+            // grid coordinate otherwise. Ownership set of a replicated
+            // member is its whole (Star) map.
+            let targets: Vec<(usize, usize)> = if d.replicated {
+                d.group.members().iter().map(|&p| (p, 0)).collect()
+            } else {
+                (0..d.map.q).map(|c| (d.group.phys(c), c)).collect()
+            };
+            for (dp, dc) in targets {
+                if s.replicated && s.serve(dp) != me {
+                    continue;
+                }
+                d_segs.clear();
+                owned_segments(&d.map, dc, 0, lo, hi, &mut d_segs);
+                inter.clear();
+                intersect_segs(&my_src, &d_segs, &mut inter);
+                if inter.is_empty() {
+                    continue;
+                }
+                if dp == me {
+                    plan.local_src = local_runs(&s.map, delta, &inter);
+                    plan.local_dst = local_runs(&d.map, 0, &inter);
+                    plan.local_total = inter.iter().map(|&(_, l)| l).sum();
+                } else {
+                    plan.sends.push(PeerRuns {
+                        peer: dp,
+                        total: inter.iter().map(|&(_, l)| l).sum(),
+                        runs: local_runs(&s.map, delta, &inter),
+                    });
+                }
+            }
+            plan.sends.sort_by_key(|p| p.peer);
+        }
+
+        // --- Receiver role -----------------------------------------------
+        let my_dst_coord = if d.replicated {
+            d.group.contains_phys(me).then_some(0)
+        } else {
+            d.group.vrank_of_phys(me)
+        };
+        if let Some(dc) = my_dst_coord {
+            let mut my_dst: Vec<(usize, usize)> = Vec::new();
+            owned_segments(&d.map, dc, 0, lo, hi, &mut my_dst);
+            let sources: Vec<usize> = if s.replicated {
+                vec![s.serve(me)]
+            } else {
+                (0..s.map.q).map(|c| s.group.phys(c)).collect()
+            };
+            let mut s_segs: Vec<(usize, usize)> = Vec::new();
+            for (cs, &sp) in sources.iter().enumerate() {
+                if sp == me {
+                    continue; // local leg handled by the sender role
+                }
+                s_segs.clear();
+                owned_segments(&s.map, if s.replicated { 0 } else { cs }, delta, lo, hi, &mut s_segs);
+                inter.clear();
+                intersect_segs(&my_dst, &s_segs, &mut inter);
+                if inter.is_empty() {
+                    continue;
+                }
+                plan.recvs.push(PeerRuns {
+                    peer: sp,
+                    total: inter.iter().map(|&(_, l)| l).sum(),
+                    runs: local_runs(&d.map, 0, &inter),
+                });
+            }
+            plan.recvs.sort_by_key(|p| p.peer);
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            let reference = CommSets1::legacy(me, s, d, lo..hi, delta);
+            let got = CommSets1::of_plan(&plan);
+            debug_assert_eq!(got, reference, "plan1 disagrees with legacy enumeration");
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference enumeration (verification + benchmarking)
+// ---------------------------------------------------------------------------
+
+/// Fully expanded 1-D communication sets — the legacy per-element view of
+/// a plan, used for debug verification, property tests, and as the
+/// "legacy" leg of the redistribution microbenchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSets1 {
+    /// `(peer, src local slots in send order)`, ascending peer.
+    pub sends: Vec<(usize, Vec<usize>)>,
+    /// `(peer, dst local slots in receive order)`, ascending peer.
+    pub recvs: Vec<(usize, Vec<usize>)>,
+    /// `(src slot, dst slot)` local-leg pairs in element order.
+    pub local: Vec<(usize, usize)>,
+}
+
+impl CommSets1 {
+    /// The legacy per-element enumeration: walk every global index of the
+    /// range, resolve owners through the distribution metadata, bucket by
+    /// peer — exactly the loop `copy_remap1_range` runs.
+    pub fn legacy(me: usize, s: &Side1, d: &Side1, range: Range<usize>, delta: isize) -> CommSets1 {
+        use std::collections::BTreeMap;
+        let mut sends: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut recvs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut local = Vec::new();
+        if !s.group.contains_phys(me) && !d.group.contains_phys(me) {
+            return CommSets1 { sends: Vec::new(), recvs: Vec::new(), local };
+        }
+        let slot = |side: &Side1, gi: usize| -> usize {
+            if side.replicated { gi } else { side.map.local_of(gi) }
+        };
+        for gi in range {
+            let sgi = gi as isize + delta;
+            if sgi < 0 || sgi >= s.map.n as isize {
+                continue;
+            }
+            let sgi = sgi as usize;
+            let dsts: Vec<usize> = if d.replicated {
+                d.group.members().to_vec()
+            } else {
+                vec![d.group.phys(d.map.owner(gi))]
+            };
+            for dp in dsts {
+                let sp = if s.replicated {
+                    s.serve(dp)
+                } else {
+                    s.group.phys(s.map.owner(sgi))
+                };
+                if sp == me {
+                    if dp == me {
+                        local.push((slot(s, sgi), slot(d, gi)));
+                    } else {
+                        sends.entry(dp).or_default().push(slot(s, sgi));
+                    }
+                } else if dp == me {
+                    recvs.entry(sp).or_default().push(slot(d, gi));
+                }
+            }
+        }
+        CommSets1 {
+            sends: sends.into_iter().collect(),
+            recvs: recvs.into_iter().collect(),
+            local,
+        }
+    }
+
+    /// Expand a plan's strided runs back to per-element sets.
+    pub fn of_plan(plan: &Plan1) -> CommSets1 {
+        let expand = |runs: &[Seg]| -> Vec<usize> {
+            pieces(runs).flat_map(|(s, l)| s..s + l).collect()
+        };
+        CommSets1 {
+            sends: plan.sends.iter().map(|p| (p.peer, expand(&p.runs))).collect(),
+            recvs: plan.recvs.iter().map(|p| (p.peer, expand(&p.runs))).collect(),
+            local: expand(&plan.local_src)
+                .into_iter()
+                .zip(expand(&plan.local_dst))
+                .collect(),
+        }
+    }
+}
+
+/// Expand a run list to individual indices (test/verification helper).
+pub fn expand_runs(runs: &[Seg]) -> Vec<usize> {
+    pieces(runs).flat_map(|(s, l)| s..s + l).collect()
+}
+
+// ---------------------------------------------------------------------------
+// 2-D plans
+// ---------------------------------------------------------------------------
+
+/// Placement descriptor of one side of a 2-D redistribution. The grid is
+/// implied by the maps: `rmap.q x cmap.q`, virtual rank `v` at
+/// `(v / cmap.q, v % cmap.q)`.
+#[derive(Debug, Clone)]
+pub struct Side2 {
+    /// The group the matrix lives on.
+    pub group: GroupHandle,
+    /// Row index map.
+    pub rmap: DimMap,
+    /// Column index map.
+    pub cmap: DimMap,
+}
+
+impl Side2 {
+    fn coord_of(&self, me: usize) -> Option<(usize, usize)> {
+        self.group
+            .vrank_of_phys(me)
+            .map(|v| (v / self.cmap.q, v % self.cmap.q))
+    }
+
+    fn phys(&self, r: usize, c: usize) -> usize {
+        self.group.phys(r * self.cmap.q + c)
+    }
+}
+
+/// One peer's share of a 2-D plan: the element set is the cross product
+/// of the `outer` and `inner` local-index runs, visited outer-major (the
+/// destination's row-major order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer2 {
+    /// Physical rank of the peer.
+    pub peer: usize,
+    /// Total element count (`|outer| * |inner|`).
+    pub total: usize,
+    /// Outer-dimension local runs.
+    pub outer: Vec<Seg>,
+    /// Inner-dimension local runs.
+    pub inner: Vec<Seg>,
+}
+
+/// The local leg of a 2-D plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Local2 {
+    /// Source outer/inner local runs.
+    pub s_outer: Vec<Seg>,
+    /// Source inner local runs.
+    pub s_inner: Vec<Seg>,
+    /// Destination outer local runs.
+    pub d_outer: Vec<Seg>,
+    /// Destination inner local runs.
+    pub d_inner: Vec<Seg>,
+    /// Element count.
+    pub total: usize,
+}
+
+/// Cache key for a 2-D assignment/transposition plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key2 {
+    /// Source group id.
+    pub sgid: u64,
+    /// Source row map.
+    pub s_rmap: DimMap,
+    /// Source column map.
+    pub s_cmap: DimMap,
+    /// Destination group id.
+    pub dgid: u64,
+    /// Destination row map.
+    pub d_rmap: DimMap,
+    /// Destination column map.
+    pub d_cmap: DimMap,
+    /// Transposition (`dst[r][c] = src[c][r]`) instead of assignment?
+    pub transposed: bool,
+}
+
+/// A 2-D communication plan (`dst = src` or `dst = transpose(src)`).
+///
+/// For sends of a transposed plan, `outer` runs index the source's
+/// *column* dimension and `inner` runs its *row* dimension, so packing
+/// reads `src[i * pitch + o]` — a strided column walk that still emits
+/// values in the receiver's row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan2 {
+    /// Outgoing messages, ascending by destination physical rank.
+    pub sends: Vec<Peer2>,
+    /// Incoming messages, ascending by source physical rank.
+    pub recvs: Vec<Peer2>,
+    /// The purely local leg, if any.
+    pub local: Option<Local2>,
+    /// Row pitch of my source tile (0 if not a source member).
+    pub src_pitch: usize,
+    /// Row pitch of my destination tile (0 if not a destination member).
+    pub dst_pitch: usize,
+    /// Transposition plan?
+    pub transposed: bool,
+}
+
+/// Pack the cross product `outer x inner` of a row-major tile into a
+/// fresh buffer. With `transposed`, `outer` indexes columns and `inner`
+/// rows (`src[i * pitch + o]`).
+pub fn pack2<T: Copy>(
+    src: &[T],
+    pitch: usize,
+    outer: &[Seg],
+    inner: &[Seg],
+    total: usize,
+    transposed: bool,
+) -> Vec<T> {
+    let mut buf = Vec::with_capacity(total);
+    for (os, ol) in pieces(outer) {
+        for o in os..os + ol {
+            if transposed {
+                for (is_, il) in pieces(inner) {
+                    for i in is_..is_ + il {
+                        buf.push(src[i * pitch + o]);
+                    }
+                }
+            } else {
+                let row = o * pitch;
+                for (is_, il) in pieces(inner) {
+                    buf.extend_from_slice(&src[row + is_..row + is_ + il]);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(buf.len(), total);
+    buf
+}
+
+/// Scatter a packed buffer into the cross product `outer x inner` of a
+/// row-major tile (destination side — always row-major orientation).
+pub fn unpack2<T: Copy>(dst: &mut [T], pitch: usize, outer: &[Seg], inner: &[Seg], buf: &[T]) {
+    let mut off = 0;
+    for (os, ol) in pieces(outer) {
+        for o in os..os + ol {
+            let row = o * pitch;
+            for (is_, il) in pieces(inner) {
+                dst[row + is_..row + is_ + il].copy_from_slice(&buf[off..off + il]);
+                off += il;
+            }
+        }
+    }
+    debug_assert_eq!(off, buf.len());
+}
+
+impl Plan2 {
+    /// Build the 2-D plan for processor `me`. Shapes are implied by the
+    /// maps (`d_rmap.n x d_cmap.n` destination elements). Debug builds
+    /// verify against the legacy per-element enumeration.
+    pub fn build(me: usize, s: &Side2, d: &Side2, transposed: bool) -> Plan2 {
+        let rows = d.rmap.n;
+        let cols = d.cmap.n;
+        let my_s = s.coord_of(me);
+        let my_d = d.coord_of(me);
+        let mut plan = Plan2 {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            local: None,
+            src_pitch: my_s.map_or(0, |(_, b)| s.cmap.local_len(b)),
+            dst_pitch: my_d.map_or(0, |(_, dc)| d.cmap.local_len(dc)),
+            transposed,
+        };
+
+        // The source-side maps governing destination row/col indices:
+        // rows of dst come from src rows (identity) or src cols
+        // (transposed), and symmetrically for columns.
+        let (srow_map, scol_map) = if transposed { (&s.cmap, &s.rmap) } else { (&s.rmap, &s.cmap) };
+        // My src coordinate along those axes.
+        let s_axis_coords = my_s.map(|(a, b)| if transposed { (b, a) } else { (a, b) });
+
+        let mut seg_r: Vec<(usize, usize)> = Vec::new();
+        let mut seg_c: Vec<(usize, usize)> = Vec::new();
+        let mut ir: Vec<(usize, usize)> = Vec::new();
+        let mut ic: Vec<(usize, usize)> = Vec::new();
+
+        // --- Sender role -------------------------------------------------
+        if let Some((ra, ca)) = s_axis_coords {
+            let mut my_r: Vec<(usize, usize)> = Vec::new();
+            let mut my_c: Vec<(usize, usize)> = Vec::new();
+            owned_segments(srow_map, ra, 0, 0, rows, &mut my_r);
+            owned_segments(scol_map, ca, 0, 0, cols, &mut my_c);
+            for dr in 0..d.rmap.q {
+                seg_r.clear();
+                owned_segments(&d.rmap, dr, 0, 0, rows, &mut seg_r);
+                ir.clear();
+                intersect_segs(&my_r, &seg_r, &mut ir);
+                if ir.is_empty() {
+                    continue;
+                }
+                for dc in 0..d.cmap.q {
+                    seg_c.clear();
+                    owned_segments(&d.cmap, dc, 0, 0, cols, &mut seg_c);
+                    ic.clear();
+                    intersect_segs(&my_c, &seg_c, &mut ic);
+                    if ic.is_empty() {
+                        continue;
+                    }
+                    let dp = d.phys(dr, dc);
+                    let nr: usize = ir.iter().map(|&(_, l)| l).sum();
+                    let nc: usize = ic.iter().map(|&(_, l)| l).sum();
+                    let outer = local_runs(srow_map, 0, &ir);
+                    let inner = local_runs(scol_map, 0, &ic);
+                    if dp == me {
+                        plan.local = Some(Local2 {
+                            s_outer: outer,
+                            s_inner: inner,
+                            d_outer: local_runs(&d.rmap, 0, &ir),
+                            d_inner: local_runs(&d.cmap, 0, &ic),
+                            total: nr * nc,
+                        });
+                    } else {
+                        plan.sends.push(Peer2 { peer: dp, total: nr * nc, outer, inner });
+                    }
+                }
+            }
+            plan.sends.sort_by_key(|p| p.peer);
+        }
+
+        // --- Receiver role -----------------------------------------------
+        if let Some((dr, dc)) = my_d {
+            let mut my_r: Vec<(usize, usize)> = Vec::new();
+            let mut my_c: Vec<(usize, usize)> = Vec::new();
+            owned_segments(&d.rmap, dr, 0, 0, rows, &mut my_r);
+            owned_segments(&d.cmap, dc, 0, 0, cols, &mut my_c);
+            for sa in 0..srow_map.q {
+                seg_r.clear();
+                owned_segments(srow_map, sa, 0, 0, rows, &mut seg_r);
+                ir.clear();
+                intersect_segs(&my_r, &seg_r, &mut ir);
+                if ir.is_empty() {
+                    continue;
+                }
+                for sb in 0..scol_map.q {
+                    // Translate axis coords back to the src grid layout.
+                    let (ga, gb) = if transposed { (sb, sa) } else { (sa, sb) };
+                    let sp = s.phys(ga, gb);
+                    if sp == me {
+                        continue; // local leg handled by the sender role
+                    }
+                    seg_c.clear();
+                    owned_segments(scol_map, sb, 0, 0, cols, &mut seg_c);
+                    ic.clear();
+                    intersect_segs(&my_c, &seg_c, &mut ic);
+                    if ic.is_empty() {
+                        continue;
+                    }
+                    let nr: usize = ir.iter().map(|&(_, l)| l).sum();
+                    let nc: usize = ic.iter().map(|&(_, l)| l).sum();
+                    plan.recvs.push(Peer2 {
+                        peer: sp,
+                        total: nr * nc,
+                        outer: local_runs(&d.rmap, 0, &ir),
+                        inner: local_runs(&d.cmap, 0, &ic),
+                    });
+                }
+            }
+            plan.recvs.sort_by_key(|p| p.peer);
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            let reference = CommSets1::legacy2(me, s, d, transposed);
+            let got = CommSets1::of_plan2(&plan);
+            debug_assert_eq!(got, reference, "plan2 disagrees with legacy enumeration");
+        }
+        plan
+    }
+}
+
+impl CommSets1 {
+    /// Legacy per-element enumeration for the 2-D case (the
+    /// `copy_remap2_with` loop with `f = identity` or `f = swap`).
+    pub fn legacy2(me: usize, s: &Side2, d: &Side2, transposed: bool) -> CommSets1 {
+        use std::collections::BTreeMap;
+        let mut sends: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut recvs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut local = Vec::new();
+        if !s.group.contains_phys(me) && !d.group.contains_phys(me) {
+            return CommSets1 { sends: Vec::new(), recvs: Vec::new(), local };
+        }
+        let s_pitch = s
+            .coord_of(me)
+            .map_or(0, |(_, b)| s.cmap.local_len(b));
+        let d_pitch = d
+            .coord_of(me)
+            .map_or(0, |(_, dc)| d.cmap.local_len(dc));
+        for r in 0..d.rmap.n {
+            for c in 0..d.cmap.n {
+                let (sr, sc) = if transposed { (c, r) } else { (r, c) };
+                let sp = s.phys(s.rmap.owner(sr), s.cmap.owner(sc));
+                let dp = d.phys(d.rmap.owner(r), d.cmap.owner(c));
+                let s_slot = || s.rmap.local_of(sr) * s_pitch + s.cmap.local_of(sc);
+                let d_slot = || d.rmap.local_of(r) * d_pitch + d.cmap.local_of(c);
+                if sp == me {
+                    if dp == me {
+                        local.push((s_slot(), d_slot()));
+                    } else {
+                        sends.entry(dp).or_default().push(s_slot());
+                    }
+                } else if dp == me {
+                    recvs.entry(sp).or_default().push(d_slot());
+                }
+            }
+        }
+        CommSets1 {
+            sends: sends.into_iter().collect(),
+            recvs: recvs.into_iter().collect(),
+            local,
+        }
+    }
+
+    /// Expand a 2-D plan back to per-element flat-slot sets.
+    pub fn of_plan2(plan: &Plan2) -> CommSets1 {
+        let cross = |outer: &[Seg], inner: &[Seg], pitch: usize, transposed: bool| -> Vec<usize> {
+            let mut out = Vec::new();
+            for o in expand_runs(outer) {
+                for i in expand_runs(inner) {
+                    out.push(if transposed { i * pitch + o } else { o * pitch + i });
+                }
+            }
+            out
+        };
+        let local = plan.local.as_ref().map_or(Vec::new(), |l| {
+            cross(&l.s_outer, &l.s_inner, plan.src_pitch, plan.transposed)
+                .into_iter()
+                .zip(cross(&l.d_outer, &l.d_inner, plan.dst_pitch, false))
+                .collect()
+        });
+        CommSets1 {
+            sends: plan
+                .sends
+                .iter()
+                .map(|p| (p.peer, cross(&p.outer, &p.inner, plan.src_pitch, plan.transposed)))
+                .collect(),
+            recvs: plan
+                .recvs
+                .iter()
+                .map(|p| (p.peer, cross(&p.outer, &p.inner, plan.dst_pitch, false)))
+                .collect(),
+            local,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3-D plans
+// ---------------------------------------------------------------------------
+
+/// Placement descriptor of one side of a 3-D assignment. The grid is
+/// implied by the maps (`maps[k].q`), virtual rank `v` at
+/// `(v / (p1*p2), (v / p2) % p1, v % p2)`.
+#[derive(Debug, Clone)]
+pub struct Side3 {
+    /// The group the array lives on.
+    pub group: GroupHandle,
+    /// Per-dimension index maps.
+    pub maps: [DimMap; 3],
+}
+
+impl Side3 {
+    fn coord_of(&self, me: usize) -> Option<(usize, usize, usize)> {
+        let (p1, p2) = (self.maps[1].q, self.maps[2].q);
+        self.group
+            .vrank_of_phys(me)
+            .map(|v| (v / (p1 * p2), (v / p2) % p1, v % p2))
+    }
+
+    fn phys(&self, c0: usize, c1: usize, c2: usize) -> usize {
+        let (p1, p2) = (self.maps[1].q, self.maps[2].q);
+        self.group.phys(c0 * p1 * p2 + c1 * p2 + c2)
+    }
+}
+
+/// One peer's share of a 3-D plan: the cross product of the three
+/// per-dimension run lists, visited dim-0-major (the destination's
+/// row-major order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer3 {
+    /// Physical rank of the peer.
+    pub peer: usize,
+    /// Total element count (product of the three dimension counts).
+    pub total: usize,
+    /// Per-dimension local runs.
+    pub dims: [Vec<Seg>; 3],
+}
+
+/// Cache key for a 3-D assignment plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key3 {
+    /// Source group id.
+    pub sgid: u64,
+    /// Source per-dimension maps.
+    pub smaps: [DimMap; 3],
+    /// Destination group id.
+    pub dgid: u64,
+    /// Destination per-dimension maps.
+    pub dmaps: [DimMap; 3],
+}
+
+/// A 3-D communication plan (`dst = src`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan3 {
+    /// Outgoing messages, ascending by destination physical rank.
+    pub sends: Vec<Peer3>,
+    /// Incoming messages, ascending by source physical rank.
+    pub recvs: Vec<Peer3>,
+    /// Local leg: source runs, destination runs, element count.
+    pub local: Option<(Box<Peer3>, Box<Peer3>)>,
+    /// My source tile pitches `(l1, l2)` (0 if not a source member).
+    pub src_pitch: (usize, usize),
+    /// My destination tile pitches `(l1, l2)`.
+    pub dst_pitch: (usize, usize),
+}
+
+/// Pack the cross product of three run lists out of a row-major
+/// `_ x l1 x l2` tile.
+pub fn pack3<T: Copy>(src: &[T], (l1, l2): (usize, usize), dims: &[Vec<Seg>; 3], total: usize) -> Vec<T> {
+    let mut buf = Vec::with_capacity(total);
+    for e0 in expand_runs(&dims[0]) {
+        for e1 in expand_runs(&dims[1]) {
+            let base = (e0 * l1 + e1) * l2;
+            for (s, l) in pieces(&dims[2]) {
+                buf.extend_from_slice(&src[base + s..base + s + l]);
+            }
+        }
+    }
+    debug_assert_eq!(buf.len(), total);
+    buf
+}
+
+/// Scatter a packed buffer into the cross product of three run lists of a
+/// row-major tile.
+pub fn unpack3<T: Copy>(dst: &mut [T], (l1, l2): (usize, usize), dims: &[Vec<Seg>; 3], buf: &[T]) {
+    let mut off = 0;
+    for e0 in expand_runs(&dims[0]) {
+        for e1 in expand_runs(&dims[1]) {
+            let base = (e0 * l1 + e1) * l2;
+            for (s, l) in pieces(&dims[2]) {
+                dst[base + s..base + s + l].copy_from_slice(&buf[off..off + l]);
+                off += l;
+            }
+        }
+    }
+    debug_assert_eq!(off, buf.len());
+}
+
+impl Plan3 {
+    /// Build the 3-D assignment plan for processor `me`. Debug builds
+    /// verify against the legacy per-element enumeration.
+    pub fn build(me: usize, s: &Side3, d: &Side3) -> Plan3 {
+        let shape = [d.maps[0].n, d.maps[1].n, d.maps[2].n];
+        let my_s = s.coord_of(me);
+        let my_d = d.coord_of(me);
+        let mut plan = Plan3 {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            local: None,
+            src_pitch: my_s.map_or((0, 0), |(_, c1, c2)| {
+                (s.maps[1].local_len(c1), s.maps[2].local_len(c2))
+            }),
+            dst_pitch: my_d.map_or((0, 0), |(_, c1, c2)| {
+                (d.maps[1].local_len(c1), d.maps[2].local_len(c2))
+            }),
+        };
+
+        // Intersections of my ownership with every peer coordinate, one
+        // dimension at a time; peers then combine per-dimension results.
+        let per_dim = |my: [usize; 3], mine: &Side3, other: &Side3| -> [Vec<Vec<(usize, usize)>>; 3] {
+            std::array::from_fn(|k| {
+                let mut own: Vec<(usize, usize)> = Vec::new();
+                owned_segments(&mine.maps[k], my[k], 0, 0, shape[k], &mut own);
+                (0..other.maps[k].q)
+                    .map(|c| {
+                        let mut segs = Vec::new();
+                        owned_segments(&other.maps[k], c, 0, 0, shape[k], &mut segs);
+                        let mut inter = Vec::new();
+                        intersect_segs(&own, &segs, &mut inter);
+                        inter
+                    })
+                    .collect()
+            })
+        };
+        let count = |segs: &[(usize, usize)]| -> usize { segs.iter().map(|&(_, l)| l).sum() };
+
+        // --- Sender role -------------------------------------------------
+        if let Some((a0, a1, a2)) = my_s {
+            let dims = per_dim([a0, a1, a2], s, d);
+            for b0 in 0..d.maps[0].q {
+                for b1 in 0..d.maps[1].q {
+                    for b2 in 0..d.maps[2].q {
+                        let (i0, i1, i2) = (&dims[0][b0], &dims[1][b1], &dims[2][b2]);
+                        let total = count(i0) * count(i1) * count(i2);
+                        if total == 0 {
+                            continue;
+                        }
+                        let dp = d.phys(b0, b1, b2);
+                        let s_runs = [
+                            local_runs(&s.maps[0], 0, i0),
+                            local_runs(&s.maps[1], 0, i1),
+                            local_runs(&s.maps[2], 0, i2),
+                        ];
+                        if dp == me {
+                            let d_runs = [
+                                local_runs(&d.maps[0], 0, i0),
+                                local_runs(&d.maps[1], 0, i1),
+                                local_runs(&d.maps[2], 0, i2),
+                            ];
+                            plan.local = Some((
+                                Box::new(Peer3 { peer: me, total, dims: s_runs }),
+                                Box::new(Peer3 { peer: me, total, dims: d_runs }),
+                            ));
+                        } else {
+                            plan.sends.push(Peer3 { peer: dp, total, dims: s_runs });
+                        }
+                    }
+                }
+            }
+            plan.sends.sort_by_key(|p| p.peer);
+        }
+
+        // --- Receiver role -----------------------------------------------
+        if let Some((b0, b1, b2)) = my_d {
+            let dims = per_dim([b0, b1, b2], d, s);
+            for a0 in 0..s.maps[0].q {
+                for a1 in 0..s.maps[1].q {
+                    for a2 in 0..s.maps[2].q {
+                        let sp = s.phys(a0, a1, a2);
+                        if sp == me {
+                            continue; // local leg handled by the sender role
+                        }
+                        let (i0, i1, i2) = (&dims[0][a0], &dims[1][a1], &dims[2][a2]);
+                        let total = count(i0) * count(i1) * count(i2);
+                        if total == 0 {
+                            continue;
+                        }
+                        plan.recvs.push(Peer3 {
+                            peer: sp,
+                            total,
+                            dims: [
+                                local_runs(&d.maps[0], 0, i0),
+                                local_runs(&d.maps[1], 0, i1),
+                                local_runs(&d.maps[2], 0, i2),
+                            ],
+                        });
+                    }
+                }
+            }
+            plan.recvs.sort_by_key(|p| p.peer);
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            let reference = CommSets1::legacy3(me, s, d);
+            let got = CommSets1::of_plan3(&plan);
+            debug_assert_eq!(got, reference, "plan3 disagrees with legacy enumeration");
+        }
+        plan
+    }
+}
+
+impl CommSets1 {
+    /// Legacy per-element enumeration for the 3-D case (the `assign3`
+    /// loop).
+    pub fn legacy3(me: usize, s: &Side3, d: &Side3) -> CommSets1 {
+        use std::collections::BTreeMap;
+        let mut sends: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut recvs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut local = Vec::new();
+        if !s.group.contains_phys(me) && !d.group.contains_phys(me) {
+            return CommSets1 { sends: Vec::new(), recvs: Vec::new(), local };
+        }
+        let (sl1, sl2) = s
+            .coord_of(me)
+            .map_or((0, 0), |(_, c1, c2)| (s.maps[1].local_len(c1), s.maps[2].local_len(c2)));
+        let (dl1, dl2) = d
+            .coord_of(me)
+            .map_or((0, 0), |(_, c1, c2)| (d.maps[1].local_len(c1), d.maps[2].local_len(c2)));
+        for i0 in 0..d.maps[0].n {
+            for i1 in 0..d.maps[1].n {
+                for i2 in 0..d.maps[2].n {
+                    let sp = s.phys(s.maps[0].owner(i0), s.maps[1].owner(i1), s.maps[2].owner(i2));
+                    let dp = d.phys(d.maps[0].owner(i0), d.maps[1].owner(i1), d.maps[2].owner(i2));
+                    let s_slot = || {
+                        (s.maps[0].local_of(i0) * sl1 + s.maps[1].local_of(i1)) * sl2
+                            + s.maps[2].local_of(i2)
+                    };
+                    let d_slot = || {
+                        (d.maps[0].local_of(i0) * dl1 + d.maps[1].local_of(i1)) * dl2
+                            + d.maps[2].local_of(i2)
+                    };
+                    if sp == me {
+                        if dp == me {
+                            local.push((s_slot(), d_slot()));
+                        } else {
+                            sends.entry(dp).or_default().push(s_slot());
+                        }
+                    } else if dp == me {
+                        recvs.entry(sp).or_default().push(d_slot());
+                    }
+                }
+            }
+        }
+        CommSets1 {
+            sends: sends.into_iter().collect(),
+            recvs: recvs.into_iter().collect(),
+            local,
+        }
+    }
+
+    /// Expand a 3-D plan back to per-element flat-slot sets.
+    pub fn of_plan3(plan: &Plan3) -> CommSets1 {
+        let cross = |p: &Peer3, (l1, l2): (usize, usize)| -> Vec<usize> {
+            let mut out = Vec::new();
+            for e0 in expand_runs(&p.dims[0]) {
+                for e1 in expand_runs(&p.dims[1]) {
+                    for e2 in expand_runs(&p.dims[2]) {
+                        out.push((e0 * l1 + e1) * l2 + e2);
+                    }
+                }
+            }
+            out
+        };
+        let local = plan.local.as_ref().map_or(Vec::new(), |(sl, dl)| {
+            cross(sl, plan.src_pitch)
+                .into_iter()
+                .zip(cross(dl, plan.dst_pitch))
+                .collect()
+        });
+        CommSets1 {
+            sends: plan.sends.iter().map(|p| (p.peer, cross(p, plan.src_pitch))).collect(),
+            recvs: plan.recvs.iter().map(|p| (p.peer, cross(p, plan.dst_pitch))).collect(),
+            local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(gid: u64, members: &[usize]) -> GroupHandle {
+        GroupHandle::synthetic(gid, members.to_vec())
+    }
+
+    fn side1(gid: u64, members: &[usize], n: usize, q: usize, dist: Dist) -> Side1 {
+        Side1 { group: group(gid, members), map: DimMap::new(n, q, dist), replicated: false }
+    }
+
+    fn side1_rep(gid: u64, members: &[usize], n: usize) -> Side1 {
+        Side1 { group: group(gid, members), map: DimMap::new(n, 1, Dist::Star), replicated: true }
+    }
+
+    #[test]
+    fn compress_merges_and_strides() {
+        // Adjacent runs merge.
+        assert_eq!(
+            compress(&[(0, 2), (2, 3)]),
+            vec![Seg { start: 0, len: 5, stride: 0, count: 1 }]
+        );
+        // Equal-length runs at constant stride fold.
+        assert_eq!(
+            compress(&[(0, 1), (4, 1), (8, 1), (12, 1)]),
+            vec![Seg { start: 0, len: 1, stride: 4, count: 4 }]
+        );
+        // Mixed: a fold followed by an adjacent-merged irregular run.
+        assert_eq!(
+            compress(&[(0, 2), (6, 2), (12, 2), (14, 3)]),
+            vec![
+                Seg { start: 0, len: 2, stride: 6, count: 2 },
+                Seg { start: 12, len: 5, stride: 0, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn owned_segments_match_bruteforce() {
+        let dists = [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(3), Dist::BlockCyclic(1)];
+        for dist in dists {
+            for n in [0usize, 1, 7, 16, 23] {
+                for q in [1usize, 2, 3, 5] {
+                    let map = DimMap::new(n, q, dist);
+                    for delta in [-5isize, -1, 0, 1, 4] {
+                        for (lo, hi) in [(0usize, n), (2, n.saturating_sub(1)), (0, 3.min(n))] {
+                            for c in 0..q {
+                                let mut segs = Vec::new();
+                                owned_segments(&map, c, delta, lo, hi, &mut segs);
+                                let got: Vec<usize> =
+                                    segs.iter().flat_map(|&(s, l)| s..s + l).collect();
+                                let want: Vec<usize> = (lo..hi)
+                                    .filter(|&g| {
+                                        let t = g as isize + delta;
+                                        t >= 0 && t < n as isize && map.owner(t as usize) == c
+                                    })
+                                    .collect();
+                                assert_eq!(got, want, "{dist:?} n={n} q={q} c={c} d={delta} [{lo},{hi})");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_matches_bruteforce() {
+        let a = vec![(0usize, 3usize), (5, 2), (10, 4)];
+        let b = vec![(2usize, 5usize), (11, 1)];
+        let mut out = Vec::new();
+        intersect_segs(&a, &b, &mut out);
+        let got: Vec<usize> = out.iter().flat_map(|&(s, l)| s..s + l).collect();
+        assert_eq!(got, vec![2, 5, 6, 11]);
+    }
+
+    // Plan1::build self-verifies against the legacy enumeration in debug
+    // builds, so these tests are a battery of configurations driven
+    // through the builder on every processor.
+    #[test]
+    fn plan1_matches_legacy_across_dists_and_groups() {
+        let dists = [Dist::Block, Dist::Cyclic, Dist::BlockCyclic(2), Dist::BlockCyclic(5)];
+        let g_all: &[usize] = &[0, 1, 2, 3];
+        let g_lo: &[usize] = &[0, 1];
+        let g_hi: &[usize] = &[2, 3];
+        for &sd in &dists {
+            for &dd in &dists {
+                for (smem, dmem) in [(g_all, g_all), (g_lo, g_hi), (g_all, g_lo)] {
+                    for n in [0usize, 1, 13, 32] {
+                        for delta in [0isize, -3, 7] {
+                            let s = side1(1, smem, n, smem.len(), sd);
+                            let d = side1(2, dmem, n, dmem.len(), dd);
+                            let lo = 3.min(n);
+                            for me in 0..4 {
+                                let p = Plan1::build(me, &s, &d, 0..n, delta);
+                                let q = Plan1::build(me, &s, &d, lo..n, delta);
+                                // Sends and recvs never carry zero elements.
+                                for pr in p.sends.iter().chain(&p.recvs).chain(&q.sends).chain(&q.recvs) {
+                                    assert!(pr.total > 0, "empty message planned");
+                                    assert_eq!(segs_total(&pr.runs), pr.total);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan1_replicated_endpoints() {
+        let g_all: &[usize] = &[0, 1, 2];
+        let g_sub: &[usize] = &[1, 2];
+        for n in [0usize, 5, 11] {
+            // Replicated -> distributed, both group layouts.
+            for (smem, dmem) in [(g_all, g_all), (g_sub, g_all), (g_all, g_sub)] {
+                let s = side1_rep(1, smem, n);
+                let d = side1(2, dmem, n, dmem.len(), Dist::Block);
+                for me in 0..3 {
+                    Plan1::build(me, &s, &d, 0..n, 0);
+                }
+                // Distributed -> replicated.
+                let s2 = side1(3, smem, n, smem.len(), Dist::Cyclic);
+                let d2 = side1_rep(4, dmem, n);
+                for me in 0..3 {
+                    Plan1::build(me, &s2, &d2, 0..n, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan2_matches_legacy_identity_and_transpose() {
+        let layouts = [
+            ((Dist::Block, Dist::Star), (1usize, 1usize)),
+            ((Dist::Star, Dist::Block), (1, 1)),
+            ((Dist::Block, Dist::Block), (2, 2)),
+            ((Dist::Cyclic, Dist::Star), (1, 1)),
+        ];
+        for &((sd0, sd1), _) in &layouts {
+            for &((dd0, dd1), _) in &layouts {
+                for (rows, cols) in [(6usize, 8usize), (5, 3)] {
+                    let mk = |gid, d0: Dist, d1: Dist, r, c| {
+                        let (q0, q1) = match (d0, d1) {
+                            (Dist::Star, Dist::Star) => (1, 1),
+                            (Dist::Star, _) => (1, 4),
+                            (_, Dist::Star) => (4, 1),
+                            _ => (2, 2),
+                        };
+                        Side2 {
+                            group: group(gid, &[0, 1, 2, 3]),
+                            rmap: DimMap::new(r, q0, d0),
+                            cmap: DimMap::new(c, q1, d1),
+                        }
+                    };
+                    let s = mk(1, sd0, sd1, rows, cols);
+                    let d = mk(2, dd0, dd1, rows, cols);
+                    for me in 0..4 {
+                        Plan2::build(me, &s, &d, false);
+                    }
+                    // Transpose: dst shape is swapped.
+                    let dt = mk(3, dd0, dd1, cols, rows);
+                    for me in 0..4 {
+                        Plan2::build(me, &s, &dt, true);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan3_matches_legacy() {
+        let g = &[0usize, 1, 2, 3];
+        let mk = |gid, d: (Dist, Dist, Dist), shape: [usize; 3], grid: (usize, usize, usize)| Side3 {
+            group: group(gid, g),
+            maps: [
+                DimMap::new(shape[0], grid.0, d.0),
+                DimMap::new(shape[1], grid.1, d.1),
+                DimMap::new(shape[2], grid.2, d.2),
+            ],
+        };
+        let shape = [4usize, 6, 5];
+        let cases = [
+            ((Dist::Block, Dist::Star, Dist::Star), (4usize, 1usize, 1usize)),
+            ((Dist::Star, Dist::Block, Dist::Star), (1, 4, 1)),
+            ((Dist::Star, Dist::Star, Dist::Cyclic), (1, 1, 4)),
+            ((Dist::Block, Dist::Block, Dist::Star), (2, 2, 1)),
+        ];
+        for &(sd, sg) in &cases {
+            for &(dd, dg) in &cases {
+                let s = mk(1, sd, shape, sg);
+                let d = mk(2, dd, shape, dg);
+                for me in 0..4 {
+                    Plan3::build(me, &s, &d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let src: Vec<u32> = (0..40).collect();
+        let runs = vec![
+            Seg { start: 1, len: 2, stride: 10, count: 3 },
+            Seg { start: 35, len: 4, stride: 0, count: 1 },
+        ];
+        let total = segs_total(&runs);
+        let buf = pack_seg_runs(&src, &runs, total);
+        assert_eq!(buf, vec![1, 2, 11, 12, 21, 22, 35, 36, 37, 38]);
+        let mut dst = vec![0u32; 40];
+        unpack_seg_runs(&mut dst, &runs, &buf);
+        for (i, &v) in dst.iter().enumerate() {
+            let expected = if buf.contains(&(i as u32)) { i as u32 } else { 0 };
+            assert_eq!(v, expected);
+        }
+        // copy with differing piece boundaries
+        let s_runs = vec![Seg { start: 0, len: 6, stride: 0, count: 1 }];
+        let d_runs = vec![Seg { start: 10, len: 2, stride: 3, count: 3 }];
+        let mut dst2 = vec![0u32; 20];
+        copy_seg_runs(&src, &s_runs, &mut dst2, &d_runs);
+        assert_eq!(&dst2[10..12], &[0, 1]);
+        assert_eq!(&dst2[13..15], &[2, 3]);
+        assert_eq!(&dst2[16..18], &[4, 5]);
+    }
+}

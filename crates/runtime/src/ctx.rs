@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
 use crate::payload::{erase, unerase, Payload};
-use crate::trace::EventLog;
+use crate::trace::{EventLog, PlanStats};
 
 /// Shared state of one run of the machine.
 pub(crate) struct World {
@@ -33,6 +33,9 @@ pub struct ProcCtx {
     /// Counts messages/bytes for reporting.
     sent_msgs: u64,
     sent_bytes: u64,
+    /// Communication-plan instrumentation (host-side only; never affects
+    /// the virtual clock).
+    plan_stats: PlanStats,
 }
 
 impl ProcCtx {
@@ -45,6 +48,7 @@ impl ProcCtx {
             events: EventLog::default(),
             sent_msgs: 0,
             sent_bytes: 0,
+            plan_stats: PlanStats::default(),
         }
     }
 
@@ -168,8 +172,31 @@ impl ProcCtx {
         self.sent_bytes
     }
 
-    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64) {
+    /// Count one communication-plan cache hit (plan replayed).
+    #[inline]
+    pub fn note_plan_hit(&mut self) {
+        self.plan_stats.plan_hits += 1;
+    }
+
+    /// Count one communication-plan cache miss (plan built).
+    #[inline]
+    pub fn note_plan_miss(&mut self) {
+        self.plan_stats.plan_misses += 1;
+    }
+
+    /// Accumulate host nanoseconds spent packing/unpacking along plan runs.
+    #[inline]
+    pub fn add_pack_ns(&mut self, ns: u64) {
+        self.plan_stats.pack_ns += ns;
+    }
+
+    /// This processor's plan counters so far.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan_stats
+    }
+
+    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64, PlanStats) {
         let t = self.now();
-        (t, self.events, self.sent_msgs, self.sent_bytes)
+        (t, self.events, self.sent_msgs, self.sent_bytes, self.plan_stats)
     }
 }

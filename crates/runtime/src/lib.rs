@@ -38,4 +38,4 @@ pub use ctx::ProcCtx;
 pub use model::{MachineModel, TimeMode};
 pub use payload::Payload;
 pub use run::{run, Machine, RunReport};
-pub use trace::{chrome_trace_json, Event, EventLog};
+pub use trace::{chrome_trace_json, Event, EventLog, PlanStats};

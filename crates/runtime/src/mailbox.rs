@@ -46,11 +46,19 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     /// Deposit a message (called by the *sender*).
+    ///
+    /// Wakes at most one waiter: each mailbox belongs to exactly one
+    /// simulated processor, and only that processor's host thread ever
+    /// blocks in [`Mailbox::take`] (sends are deposit-only and never
+    /// wait). With a single consumer, `notify_one` is sufficient and
+    /// avoids a thundering herd when many senders deposit back-to-back.
+    /// `poison`, by contrast, keeps `notify_all` — it is the one event
+    /// that must reach every waiter no matter who is blocked.
     pub fn deposit(&self, env: Envelope) {
         let mut st = self.state.lock();
         st.queues.entry((env.src, env.tag)).or_default().push_back(env);
         drop(st);
-        self.cvar.notify_all();
+        self.cvar.notify_one();
     }
 
     /// Block until a message from `src` with `tag` is available and take it.

@@ -36,14 +36,19 @@ impl Payload for () {
     }
 }
 
-impl<T: Copy + Send + 'static> Payload for Vec<T> {
+// Clone (not Copy) elements: messages are moved into the mailbox, never
+// duplicated, so the runtime only needs value-like elements. The wire size
+// counts each element's inline size; element-owned heap storage (for types
+// like `Vec<Vec<T>>`) is not charged — flatten before sending if the cost
+// model should see those bytes.
+impl<T: Clone + Send + 'static> Payload for Vec<T> {
     #[inline]
     fn nbytes(&self) -> usize {
         self.len() * std::mem::size_of::<T>()
     }
 }
 
-impl<T: Copy + Send + 'static> Payload for Box<[T]> {
+impl<T: Clone + Send + 'static> Payload for Box<[T]> {
     #[inline]
     fn nbytes(&self) -> usize {
         self.len() * std::mem::size_of::<T>()

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use crate::ctx::{ProcCtx, World};
 use crate::mailbox::Mailbox;
 use crate::model::{MachineModel, TimeMode};
-use crate::trace::EventLog;
+use crate::trace::{EventLog, PlanStats};
 
 /// Configuration of one machine instance.
 #[derive(Debug, Clone)]
@@ -49,6 +49,9 @@ pub struct RunReport<R> {
     pub events: Vec<EventLog>,
     /// Per-processor (messages, bytes) sent.
     pub traffic: Vec<(u64, u64)>,
+    /// Per-processor communication-plan counters (cache hits/misses and
+    /// host-side pack time). All-zero for programs that never use plans.
+    pub plan_stats: Vec<PlanStats>,
     /// Messages deposited but never received (0 for a clean program).
     pub undelivered: usize,
 }
@@ -136,8 +139,8 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes) = cx.into_parts();
-                        Ok(ProcOutcome { value, time, events, msgs, bytes })
+                        let (time, events, msgs, bytes, plans) = cx.into_parts();
+                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans })
                     }
                     Err(payload) => {
                         // Unblock everyone else before reporting.
@@ -178,14 +181,16 @@ where
     let mut times = Vec::with_capacity(machine.nprocs);
     let mut events = Vec::with_capacity(machine.nprocs);
     let mut traffic = Vec::with_capacity(machine.nprocs);
+    let mut plan_stats = Vec::with_capacity(machine.nprocs);
     for out in outcomes.into_iter() {
         let out = out.expect("missing processor outcome despite no panic");
         results.push(out.value);
         times.push(out.time);
         events.push(out.events);
         traffic.push((out.msgs, out.bytes));
+        plan_stats.push(out.plans);
     }
-    RunReport { results, times, events, traffic, undelivered }
+    RunReport { results, times, events, traffic, plan_stats, undelivered }
 }
 
 struct ProcOutcome<R> {
@@ -194,6 +199,7 @@ struct ProcOutcome<R> {
     events: EventLog,
     msgs: u64,
     bytes: u64,
+    plans: PlanStats,
 }
 
 #[cfg(test)]

@@ -6,6 +6,28 @@
 //! (spacing between paired events) exactly the way the paper measures its
 //! stream-processing programs.
 
+/// Per-processor communication-plan counters.
+///
+/// Higher layers (fx-darray's cached interval plans) report cache hits,
+/// misses, and the host time spent packing/unpacking message buffers
+/// through [`crate::ProcCtx`]; the run report aggregates one of these per
+/// processor so harnesses and regression tests can verify that an
+/// m-iteration pipeline builds each plan once and replays it m-1 times.
+///
+/// The counters are host-side instrumentation only: they never touch the
+/// virtual clock, so enabling or reading them cannot perturb simulated
+/// time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Plan-cache hits (a cached plan was replayed).
+    pub plan_hits: u64,
+    /// Plan-cache misses (a plan was built from scratch).
+    pub plan_misses: u64,
+    /// Host nanoseconds spent packing send buffers and unpacking receive
+    /// buffers along plan runs.
+    pub pack_ns: u64,
+}
+
 /// One timestamped mark on a processor's clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {

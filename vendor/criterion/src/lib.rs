@@ -1,0 +1,213 @@
+//! Offline shim for `criterion`: `Criterion::bench_function` +
+//! `criterion_group!` / `criterion_main!` with real wall-clock timing.
+//!
+//! Behavioral notes:
+//! - Under `cargo test` (cargo passes `--test` to `harness = false`
+//!   bench targets), each benchmark runs exactly once as a smoke test,
+//!   so the tier-1 suite stays fast.
+//! - Under `cargo bench`, each benchmark is warmed up, then timed over
+//!   `sample_size` samples; mean / min ns per iteration are printed.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(80),
+            measurement: Duration::from_millis(400),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Upstream reads CLI args here; the shim's `Default` already did.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::Once
+            } else {
+                Mode::Calibrate(self.warm_up)
+            },
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        if self.test_mode {
+            f(&mut b);
+            println!("test {id} ... ok (1 iteration, test mode)");
+            return self;
+        }
+
+        // Calibration pass: find an iteration count that fills roughly
+        // one sample's worth of time.
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos().max(1) as f64 / b.iters as f64;
+        let sample_ns =
+            (self.measurement.as_nanos() as f64 / self.sample_size as f64).max(1.0);
+        let iters_per_sample = (sample_ns / per_iter).clamp(1.0, 1e9) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Fixed;
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<48} time: [mean {:>12} min {:>12}]  ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples.len(),
+            iters_per_sample
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    /// Test mode: run the routine exactly once.
+    Once,
+    /// Calibration: keep doubling iterations until the warm-up budget.
+    Calibrate(Duration),
+    /// Measurement: run exactly `iters` iterations.
+    Fixed,
+}
+
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Once => {
+                self.iters = 1;
+                let t = Instant::now();
+                black_box(routine());
+                self.elapsed = t.elapsed();
+            }
+            Mode::Calibrate(budget) => {
+                let mut iters = 1u64;
+                loop {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let dt = t.elapsed();
+                    if dt >= budget || iters >= 1 << 30 {
+                        self.iters = iters;
+                        self.elapsed = dt;
+                        break;
+                    }
+                    iters *= 2;
+                }
+            }
+            Mode::Fixed => {
+                let t = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                self.elapsed = t.elapsed();
+            }
+        }
+    }
+}
+
+/// Identity function that defeats constant-folding of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(3),
+            test_mode: false,
+        };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+}

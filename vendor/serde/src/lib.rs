@@ -1,0 +1,10 @@
+//! Offline shim for `serde`: marker traits plus the `derive` re-exports.
+//! Nothing in this workspace performs serde-based serialization (trace
+//! and bench JSON are written by hand), so the traits carry no methods.
+
+pub trait Serialize {}
+
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

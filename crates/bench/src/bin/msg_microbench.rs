@@ -1,0 +1,244 @@
+//! Host-time microbenchmark of the message transport: the boxed
+//! `send`/`recv` path (type-erased payload, fresh allocation per
+//! message) vs the pooled chunk path (`send_chunk`/`recv_chunk`, buffers
+//! recycled through per-processor pools).
+//!
+//! Unlike the virtual-time experiment harnesses, this runs *threaded* —
+//! `Machine::real(P)` spawns one host thread per simulated processor —
+//! so the numbers include the sharded-mailbox locking that large-P
+//! simulations actually pay. The pattern is credit-windowed fan-in:
+//! `fan_in` senders stream fixed-size messages at rank 0, at most
+//! a size-dependent window in flight each; the receiver acknowledges every message (for
+//! the chunk leg, the acknowledgement *is* the spent buffer, flowing
+//! back to its sender's pool, which is what makes the steady state
+//! allocation-free). Wall-clock host time at the receiver, after a
+//! warm-up window, divided into bytes delivered.
+//!
+//! Emits `BENCH_msg.json` in the working directory and a table on
+//! stdout. Run with:
+//! `cargo run --release -p fx-bench --bin msg_microbench [-- --smoke]`
+
+use std::time::Instant;
+
+use fx_runtime::{run, Machine};
+
+/// Pick the per-sender credit window: deep for small messages (so the
+/// single-core context-switch cost amortizes over many messages) and
+/// shallow for big ones (to bound bytes in flight).
+fn window_for(fan_in: usize, elems: usize) -> usize {
+    ((1usize << 25) / (fan_in * elems * 8)).clamp(4, 64)
+}
+
+const TAG_DATA: u64 = 1;
+const TAG_ACK: u64 = 2;
+
+/// Message sizes cycle x1/2, x1, x2 around the nominal size, the way a
+/// pipeline's statements vary (different halo widths, different
+/// iteration extents). The pool's power-of-two size classes absorb
+/// this; a per-message allocator cannot settle into reusing one block.
+fn size_cycle(elems: usize, round: usize) -> usize {
+    [elems.div_ceil(2), elems, 2 * elems][round % 3]
+}
+
+/// One fan-in run; returns the receiver's nanoseconds over the measured
+/// rounds. `chunked` selects the transport leg.
+fn fan_in_ns(p: usize, fan_in: usize, elems: usize, rounds: usize, chunked: bool) -> f64 {
+    assert!(fan_in < p);
+    let window = window_for(fan_in, elems);
+    let warmup = 2 * window; // fills every pool and faults in every lane
+    let rep = run(&Machine::real(p), move |cx| {
+        let me = cx.rank();
+        if me == 0 {
+            // Delivery throughput: spot-check both ends of every message
+            // rather than fully consuming it — consumption cost is the
+            // application's, identical on both legs, and would only
+            // dilute the transport difference under test.
+            let mut ends = [0.0f64; 2];
+            let mut sink = 0.0f64;
+            let mut t = Instant::now();
+            for round in 0..warmup + rounds {
+                if round == warmup {
+                    t = Instant::now(); // pools warm, lanes faulted in
+                }
+                let sz = size_cycle(elems, round);
+                for src in 1..=fan_in {
+                    if chunked {
+                        let chunk = cx.recv_chunk(src, TAG_DATA);
+                        chunk.read_into(0, &mut ends[..1]);
+                        chunk.read_into(sz - 1, &mut ends[1..]);
+                        // The spent buffer is the credit: hand it back so
+                        // the sender's next acquire is a pool hit.
+                        cx.send_chunk(src, TAG_ACK, chunk);
+                    } else {
+                        let v: Vec<f64> = cx.recv(src, TAG_DATA);
+                        ends = [v[0], v[sz - 1]];
+                        cx.send(src, TAG_ACK, vec![0u8]);
+                    }
+                    assert_eq!(ends[0], (src * elems) as f64, "first element corrupt");
+                    sink += ends[1];
+                }
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            assert!(sink.is_finite());
+            ns
+        } else if me <= fan_in {
+            let data: Vec<f64> = (0..2 * elems).map(|i| (me * elems + i) as f64).collect();
+            let mut in_flight = 0usize;
+            for round in 0..warmup + rounds {
+                if in_flight == window {
+                    if chunked {
+                        let c = cx.recv_chunk(0, TAG_ACK);
+                        cx.release_chunk(c);
+                    } else {
+                        let _: Vec<u8> = cx.recv(0, TAG_ACK);
+                    }
+                    in_flight -= 1;
+                }
+                let sz = size_cycle(elems, round);
+                if chunked {
+                    let mut c = cx.chunk_for::<f64>(sz);
+                    c.push_slice(&data[..sz]);
+                    cx.send_chunk(0, TAG_DATA, c);
+                } else {
+                    cx.send(0, TAG_DATA, data[..sz].to_vec());
+                }
+                in_flight += 1;
+            }
+            while in_flight > 0 {
+                if chunked {
+                    let c = cx.recv_chunk(0, TAG_ACK);
+                    cx.release_chunk(c);
+                } else {
+                    let _: Vec<u8> = cx.recv(0, TAG_ACK);
+                }
+                in_flight -= 1;
+            }
+            0.0
+        } else {
+            0.0 // idle rank: present only to size the mailboxes to P lanes
+        }
+    });
+    rep.results[0]
+}
+
+struct Row {
+    p: usize,
+    fan_in: usize,
+    elems: usize,
+    rounds: usize,
+    boxed_ns: f64,
+    chunk_ns: f64,
+}
+
+impl Row {
+    fn bytes(&self) -> f64 {
+        let elems: usize = (0..self.rounds).map(|r| size_cycle(self.elems, r)).sum();
+        (self.fan_in * elems * 8) as f64
+    }
+    /// GiB/s delivered at the receiver.
+    fn gibs(&self, ns: f64) -> f64 {
+        self.bytes() / ns * 1e9 / (1u64 << 30) as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // size (f64 elements) x fan-in x P, fan_in < P. Small messages are
+    // where the per-message overhead (allocation, type erasure) that the
+    // chunk path removes dominates; large ones are memcpy-bound on both
+    // legs and bound the speedup from below.
+    let cases: Vec<(usize, usize, usize)> = if smoke {
+        vec![(8, 7, 1024)]
+    } else {
+        let mut v = Vec::new();
+        for &p in &[8usize, 64, 512] {
+            for &fan_in in &[7usize, 31, 63] {
+                if fan_in >= p {
+                    continue;
+                }
+                for &elems in &[16usize, 64, 1024, 16384, 65536] {
+                    v.push((p, fan_in, elems));
+                }
+            }
+        }
+        v
+    };
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>5} {:>7} {:>9} {:>7} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "p", "fan_in", "elems", "rounds", "boxed ns", "chunk ns", "boxed GiB/s", "chunk GiB/s", "speedup"
+    );
+    for (p, fan_in, elems) in cases {
+        // Bound bytes moved per case so the full sweep stays quick.
+        let budget = if smoke { 1usize << 20 } else { 1usize << 25 };
+        let rounds = (budget / (fan_in * elems * 8)).clamp(24, 4096);
+        // Best-of-N per leg: the minimum is the least scheduler-noisy
+        // observation of the same deterministic work.
+        let reps = if smoke { 1 } else { 3 };
+        let best = |chunked: bool| {
+            (0..reps)
+                .map(|_| fan_in_ns(p, fan_in, elems, rounds, chunked))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let boxed_ns = best(false);
+        let chunk_ns = best(true);
+        let r = Row { p, fan_in, elems, rounds, boxed_ns, chunk_ns };
+        println!(
+            "{:>5} {:>7} {:>9} {:>7} {:>12.0} {:>12.0} {:>10.3} {:>10.3} {:>7.2}x",
+            r.p,
+            r.fan_in,
+            r.elems,
+            r.rounds,
+            r.boxed_ns,
+            r.chunk_ns,
+            r.gibs(r.boxed_ns),
+            r.gibs(r.chunk_ns),
+            r.boxed_ns / r.chunk_ns
+        );
+        rows.push(r);
+    }
+
+    // Headline: best chunk-vs-boxed throughput ratio at P=64 (the
+    // paper's machine size).
+    if let Some(best) = rows
+        .iter()
+        .filter(|r| r.p == 64)
+        .max_by(|a, b| {
+            (a.boxed_ns / a.chunk_ns).partial_cmp(&(b.boxed_ns / b.chunk_ns)).unwrap()
+        })
+    {
+        println!(
+            "\nP=64 best case (fan_in={}, {} B msgs): chunk path {:.2}x boxed throughput",
+            best.fan_in,
+            best.elems * 8,
+            best.boxed_ns / best.chunk_ns
+        );
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"msg_host_time\",\n  \"pattern\": \"credit_windowed_fan_in\",\n  \
+         \"unit\": \"ns_receiver_measured_rounds\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"p\": {}, \"fan_in\": {}, \"msg_bytes\": {}, \"rounds\": {}, \
+             \"boxed_ns\": {:.0}, \"chunk_ns\": {:.0}, \"boxed_gib_s\": {:.3}, \
+             \"chunk_gib_s\": {:.3}, \"chunk_speedup\": {:.2}}}{}\n",
+            r.p,
+            r.fan_in,
+            r.elems * 8,
+            r.rounds,
+            r.boxed_ns,
+            r.chunk_ns,
+            r.gibs(r.boxed_ns),
+            r.gibs(r.chunk_ns),
+            r.boxed_ns / r.chunk_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_msg.json", &json).expect("write BENCH_msg.json");
+    println!("\nwrote BENCH_msg.json ({} cases)", rows.len());
+}

@@ -12,6 +12,8 @@
 //! O(log p) virtual-time scaling of real implementations; gathers are
 //! root-linear like their real counterparts.
 
+use std::sync::Arc;
+
 use fx_runtime::Payload;
 
 use crate::cx::Cx;
@@ -32,7 +34,7 @@ impl Cx<'_> {
     /// Broadcast `value` from virtual rank `root` to every member of the
     /// current group. All members receive the value (the root keeps its
     /// own). Binomial tree: log2(p) message steps.
-    pub fn bcast<T: Payload + Clone>(&mut self, root: usize, value: T) -> T {
+    pub fn bcast<T: Payload + Clone + Sync>(&mut self, root: usize, value: T) -> T {
         let mine = if self.id() == root { Some(value) } else { None };
         self.bcast_opt(root, mine)
     }
@@ -41,7 +43,15 @@ impl Cx<'_> {
     /// argument is never sent, so allreduce-style call sites don't have to
     /// clone a placeholder). Same tag allocation and message schedule as
     /// [`Cx::bcast`].
-    fn bcast_opt<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+    ///
+    /// The value travels down the tree as an `Arc<T>`: each hop forwards a
+    /// reference-count bump instead of a deep copy, so broadcasting an
+    /// n-element vector no longer clones it at every tree level on the
+    /// host (`T: Sync` because one allocation becomes visible to several
+    /// processor threads). The `Arc` charges its inner value's wire size
+    /// and the message schedule is unchanged, so virtual time is
+    /// bit-identical to the deep-copy implementation.
+    fn bcast_opt<T: Payload + Clone + Sync>(&mut self, root: usize, value: Option<T>) -> T {
         let p = self.nprocs();
         assert!(root < p, "bcast root {root} out of range for group of {p}");
         let tag = self.next_op_tag();
@@ -51,14 +61,15 @@ impl Cx<'_> {
             (rel == 0) == value.is_some(),
             "bcast_opt: exactly the root supplies a value"
         );
-        let mut slot: Option<T> = value;
+        let mut slot: Option<Arc<T>> = value.map(Arc::new);
         let mut mask = 1usize;
         while mask < p {
             if rel < mask {
                 let dst_rel = rel + mask;
                 if dst_rel < p {
                     let dst = (dst_rel + root) % p;
-                    let v = slot.clone().expect("bcast internal: sender without value");
+                    let v =
+                        Arc::clone(slot.as_ref().expect("bcast internal: sender without value"));
                     self.send_wire(dst, tag, v);
                 }
             } else if rel < 2 * mask {
@@ -67,7 +78,10 @@ impl Cx<'_> {
             }
             mask <<= 1;
         }
-        slot.expect("bcast internal: member finished without value")
+        let shared = slot.expect("bcast internal: member finished without value");
+        // At most one deep clone per member, and none when this member's
+        // reference is the last one standing.
+        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
     }
 
     /// Reduce the members' values with `f` (associative & commutative) onto
@@ -106,7 +120,7 @@ impl Cx<'_> {
     /// Reduce with `f` and broadcast the result to the whole group.
     pub fn allreduce<T, F>(&mut self, value: T, f: F) -> T
     where
-        T: Payload + Clone,
+        T: Payload + Clone + Sync,
         F: Fn(T, T) -> T,
     {
         let reduced = self.reduce(0, value, f);
@@ -136,7 +150,7 @@ impl Cx<'_> {
     }
 
     /// Gather everyone's value to every member (gather + broadcast).
-    pub fn allgather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
+    pub fn allgather<T: Payload + Clone + Sync>(&mut self, value: T) -> Vec<T> {
         let gathered = self.gather(0, value);
         self.bcast_opt(0, gathered)
     }
@@ -145,7 +159,7 @@ impl Cx<'_> {
     /// `Vec<T>` and receives all members' vectors in virtual-rank order.
     /// (Nested vectors are flattened for the broadcast leg, so only flat
     /// buffers travel on the wire.)
-    pub fn allgather_vecs<T: Clone + Send + 'static>(&mut self, value: Vec<T>) -> Vec<Vec<T>> {
+    pub fn allgather_vecs<T: Clone + Send + Sync + 'static>(&mut self, value: Vec<T>) -> Vec<Vec<T>> {
         let packed = self.gather(0, value).map(|vs| {
             let lens: Vec<u64> = vs.iter().map(|v| v.len() as u64).collect();
             let flat: Vec<T> = vs.into_iter().flatten().collect();
@@ -168,7 +182,7 @@ impl Cx<'_> {
     /// Every member sends to every other member (empty vectors included);
     /// the data-parallel layer avoids empty messages by computing exact
     /// communication sets instead of using this primitive.
-    pub fn alltoallv<T: Copy + Send + 'static>(&mut self, mut data: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Clone + Send + 'static>(&mut self, mut data: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.nprocs();
         assert_eq!(data.len(), p, "alltoallv needs one bucket per member");
         let tag = self.next_op_tag();

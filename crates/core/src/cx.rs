@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use fx_runtime::{Machine, Payload, ProcCtx, RunReport, TimeMode};
+use fx_runtime::{Chunk, Machine, Payload, ProcCtx, RunReport, TimeMode};
 
 use crate::group::{Frame, GroupHandle};
 use crate::hash::{mix2, mix3, WORLD_GID};
@@ -160,6 +160,53 @@ impl<'a> Cx<'a> {
     /// Receive from a *physical* processor on a precomputed wire tag.
     pub fn recv_phys<T: Payload>(&mut self, src_phys: usize, wire_tag: u64) -> T {
         self.rt.recv(src_phys, wire_tag)
+    }
+
+    // ----- chunk fast path (pooled bulk transfers) ------------------------
+
+    /// An empty [`Chunk`] for `elems` elements of `T`, drawn from this
+    /// processor's buffer pool. The pack buffer of the zero-copy transfer
+    /// path used by the data-parallel layer's plan replay.
+    pub fn chunk_for<T: Copy + Send + 'static>(&mut self, elems: usize) -> Chunk {
+        self.rt.chunk_for::<T>(elems)
+    }
+
+    /// Recycle an unpacked chunk's storage into this processor's pool.
+    pub fn release_chunk(&mut self, chunk: Chunk) {
+        self.rt.release_chunk(chunk);
+    }
+
+    /// Send a packed chunk to a *physical* processor on a precomputed wire
+    /// tag. Identical virtual-time charges and ordering to
+    /// [`Cx::send_phys`] of an equal-sized `Vec<T>`.
+    pub fn send_chunk_phys(&mut self, dst_phys: usize, wire_tag: u64, chunk: Chunk) {
+        self.rt.send_chunk(dst_phys, wire_tag, chunk);
+    }
+
+    /// Receive a chunk from a *physical* processor on a precomputed wire
+    /// tag.
+    pub fn recv_chunk_phys(&mut self, src_phys: usize, wire_tag: u64) -> Chunk {
+        self.rt.recv_chunk(src_phys, wire_tag)
+    }
+
+    /// Send a packed chunk to virtual processor `dst` of the current group
+    /// on user channel `tag` (chunk analogue of [`Cx::send_v`]).
+    pub fn send_chunk_v(&mut self, dst: usize, tag: u64, chunk: Chunk) {
+        let (phys, wire) = {
+            let f = self.top();
+            (f.handle.phys(dst), mix3(f.handle.gid(), USER_SALT, tag))
+        };
+        self.rt.send_chunk(phys, wire, chunk);
+    }
+
+    /// Receive a chunk from virtual processor `src` of the current group
+    /// on user channel `tag` (chunk analogue of [`Cx::recv_v`]).
+    pub fn recv_chunk_v(&mut self, src: usize, tag: u64) -> Chunk {
+        let (phys, wire) = {
+            let f = self.top();
+            (f.handle.phys(src), mix3(f.handle.gid(), USER_SALT, tag))
+        };
+        self.rt.recv_chunk(phys, wire)
     }
 
     // ----- group stack manipulation ---------------------------------------

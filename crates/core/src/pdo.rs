@@ -49,7 +49,7 @@ impl Cx<'_> {
         combine: F,
     ) -> A
     where
-        A: Payload + Clone,
+        A: Payload + Clone + Sync,
         B: FnMut(usize, &mut A),
         F: Fn(A, A) -> A,
     {

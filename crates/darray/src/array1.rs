@@ -4,9 +4,10 @@ use fx_core::{Cx, GroupHandle};
 
 use crate::dist::{DimMap, Dist};
 
-/// Element types storable in distributed arrays.
-pub trait Elem: Copy + Send + 'static {}
-impl<T: Copy + Send + 'static> Elem for T {}
+/// Element types storable in distributed arrays. `Sync` lets collectives
+/// share one broadcast payload across processor threads.
+pub trait Elem: Copy + Send + Sync + 'static {}
+impl<T: Copy + Send + Sync + 'static> Elem for T {}
 
 /// Distribution of a 1-D array over its group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

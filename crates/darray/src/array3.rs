@@ -242,7 +242,7 @@ impl<T: Elem> DArray3<T> {
 /// shape (any distributions/groups) — the 3-D analogue of
 /// [`crate::assign2`], with the same minimal-processor-subset skipping.
 pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
-    use crate::plan::{pack3, unpack3, Key3, Plan3, Side3};
+    use crate::plan::{pack3, pack3_into, unpack3, unpack3_chunk, Key3, Plan3, Side3};
     use std::time::Instant;
 
     assert_eq!(dst.shape(), src.shape(), "assign3 shape mismatch");
@@ -276,16 +276,18 @@ pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
     cx.charge_mem_bytes(2.0 * (local_total * std::mem::size_of::<T>()) as f64);
     for p in &plan.sends {
         let t = Instant::now();
-        let buf = pack3(src.local(), plan.src_pitch, &p.dims, p.total);
+        let mut chunk = cx.chunk_for::<T>(p.total);
+        pack3_into(src.local(), plan.src_pitch, &p.dims, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_phys(p.peer, tag, buf);
+        cx.send_chunk_phys(p.peer, tag, chunk);
     }
     for p in &plan.recvs {
-        let buf: Vec<T> = cx.recv_phys(p.peer, tag);
-        debug_assert_eq!(buf.len(), p.total, "communication set mismatch");
+        let chunk = cx.recv_chunk_phys(p.peer, tag);
+        debug_assert_eq!(chunk.elems(), p.total, "communication set mismatch");
         let t = Instant::now();
-        unpack3(dst.local_mut(), plan.dst_pitch, &p.dims, &buf);
+        unpack3_chunk(dst.local_mut(), plan.dst_pitch, &p.dims, &chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
+        cx.release_chunk(chunk);
     }
     cx.note_pack_ns(pack_ns);
 }
@@ -325,7 +327,7 @@ pub fn exchange_plane_halo<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -
     if l1 == 0 {
         return PlaneHalo { before: Vec::new(), after: Vec::new() };
     }
-    use crate::plan::{pack_seg_runs, Seg};
+    use crate::plan::{pack_seg_runs_into, Seg};
 
     /// Cache key / schedule for the plane exchange, mirroring the 2-D
     /// halo plans in `halo.rs`.
@@ -375,19 +377,29 @@ pub fn exchange_plane_halo<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -
     let mut pack_ns = 0u64;
     if let Some(runs) = &plan.before {
         let t = std::time::Instant::now();
-        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        let mut chunk = cx.chunk_for::<T>(plan.total);
+        pack_seg_runs_into(a.local(), runs, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_v(me - 1, tag, buf);
+        cx.send_chunk_v(me - 1, tag, chunk);
     }
     if let Some(runs) = &plan.after {
         let t = std::time::Instant::now();
-        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        let mut chunk = cx.chunk_for::<T>(plan.total);
+        pack_seg_runs_into(a.local(), runs, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_v(me + 1, tag, buf);
+        cx.send_chunk_v(me + 1, tag, chunk);
     }
+    let mut unpack = |cx: &mut Cx, src_v: usize| {
+        let chunk = cx.recv_chunk_v(src_v, tag);
+        let t = std::time::Instant::now();
+        let v = chunk.to_vec::<T>();
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.release_chunk(chunk);
+        v
+    };
+    let before = if plan.before.is_some() { unpack(cx, me - 1) } else { Vec::new() };
+    let after = if plan.after.is_some() { unpack(cx, me + 1) } else { Vec::new() };
     cx.note_pack_ns(pack_ns);
-    let before = if plan.before.is_some() { cx.recv_v(me - 1, tag) } else { Vec::new() };
-    let after = if plan.after.is_some() { cx.recv_v(me + 1, tag) } else { Vec::new() };
     PlaneHalo { before, after }
 }
 

@@ -12,7 +12,7 @@ use crate::array2::DArray2;
 use crate::dist::{DimMap, Dist};
 #[cfg(debug_assertions)]
 use crate::plan::segs_total;
-use crate::plan::{pack_seg_runs, Seg};
+use crate::plan::{pack_seg_runs_into, Seg};
 
 /// Cache key for a halo pack plan: the array placement plus the halo
 /// width. `axis` distinguishes row from column exchange.
@@ -106,23 +106,34 @@ pub fn exchange_row_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> 
         }
     }
 
-    // Deposit sends first (non-blocking), then receive.
+    // Deposit sends first (non-blocking), then receive. Ghost rows ride
+    // the pooled chunk fast path; the halo API still hands out Vecs.
     let mut pack_ns = 0u64;
     if let Some(runs) = &plan.lead {
         let t = std::time::Instant::now();
-        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        let mut chunk = cx.chunk_for::<T>(plan.total);
+        pack_seg_runs_into(a.local(), runs, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_v(me - 1, tag, buf);
+        cx.send_chunk_v(me - 1, tag, chunk);
     }
     if let Some(runs) = &plan.trail {
         let t = std::time::Instant::now();
-        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        let mut chunk = cx.chunk_for::<T>(plan.total);
+        pack_seg_runs_into(a.local(), runs, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_v(me + 1, tag, buf);
+        cx.send_chunk_v(me + 1, tag, chunk);
     }
+    let mut unpack = |cx: &mut Cx, src_v: usize| {
+        let chunk = cx.recv_chunk_v(src_v, tag);
+        let t = std::time::Instant::now();
+        let v = chunk.to_vec::<T>();
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.release_chunk(chunk);
+        v
+    };
+    let top = if plan.lead.is_some() { unpack(cx, me - 1) } else { Vec::new() };
+    let bottom = if plan.trail.is_some() { unpack(cx, me + 1) } else { Vec::new() };
     cx.note_pack_ns(pack_ns);
-    let top = if plan.lead.is_some() { cx.recv_v(me - 1, tag) } else { Vec::new() };
-    let bottom = if plan.trail.is_some() { cx.recv_v(me + 1, tag) } else { Vec::new() };
     RowHalo { top, bottom }
 }
 
@@ -190,19 +201,29 @@ pub fn exchange_col_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> 
     let mut pack_ns = 0u64;
     if let Some(runs) = &plan.lead {
         let t = std::time::Instant::now();
-        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        let mut chunk = cx.chunk_for::<T>(plan.total);
+        pack_seg_runs_into(a.local(), runs, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_v(me - 1, tag, buf);
+        cx.send_chunk_v(me - 1, tag, chunk);
     }
     if let Some(runs) = &plan.trail {
         let t = std::time::Instant::now();
-        let buf = pack_seg_runs(a.local(), runs, plan.total);
+        let mut chunk = cx.chunk_for::<T>(plan.total);
+        pack_seg_runs_into(a.local(), runs, &mut chunk);
         pack_ns += t.elapsed().as_nanos() as u64;
-        cx.send_v(me + 1, tag, buf);
+        cx.send_chunk_v(me + 1, tag, chunk);
     }
+    let mut unpack = |cx: &mut Cx, src_v: usize| {
+        let chunk = cx.recv_chunk_v(src_v, tag);
+        let t = std::time::Instant::now();
+        let v = chunk.to_vec::<T>();
+        pack_ns += t.elapsed().as_nanos() as u64;
+        cx.release_chunk(chunk);
+        v
+    };
+    let left = if plan.lead.is_some() { unpack(cx, me - 1) } else { Vec::new() };
+    let right = if plan.trail.is_some() { unpack(cx, me + 1) } else { Vec::new() };
     cx.note_pack_ns(pack_ns);
-    let left = if plan.lead.is_some() { cx.recv_v(me - 1, tag) } else { Vec::new() };
-    let right = if plan.trail.is_some() { cx.recv_v(me + 1, tag) } else { Vec::new() };
     ColHalo { left, right }
 }
 

@@ -12,7 +12,7 @@
 use fx_core::Cx;
 
 use crate::array1::{DArray1, Dist1, Elem};
-use crate::plan::{local_runs, owned_segments, unpack_seg_runs};
+use crate::plan::{local_runs, owned_segments, unpack_seg_runs, unpack_seg_runs_chunk};
 
 /// Split `src` into `dst_true` (elements satisfying `pred`) and
 /// `dst_false` (the rest). The destination extents must equal the global
@@ -84,7 +84,7 @@ fn scatter_side<T: Elem>(
     // (allgathered counts), so this schedule is computed fresh each call.
     let (lo, hi) = (off as usize, off as usize + vals.len());
     let mut segs: Vec<(usize, usize)> = Vec::new();
-    let mut sends: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut sends: Vec<(usize, fx_runtime::Chunk)> = Vec::new();
     for c in 0..d_map.q {
         segs.clear();
         owned_segments(&d_map, c, 0, lo, hi, &mut segs);
@@ -92,21 +92,27 @@ fn scatter_side<T: Elem>(
             continue;
         }
         let total: usize = segs.iter().map(|&(_, l)| l).sum();
-        let mut buf = Vec::with_capacity(total);
-        for &(s, l) in &segs {
-            buf.extend_from_slice(&vals[s - lo..s - lo + l]);
-        }
         let dp = d_group.phys(c);
         if dp == me {
+            let mut buf = Vec::with_capacity(total);
+            for &(s, l) in &segs {
+                buf.extend_from_slice(&vals[s - lo..s - lo + l]);
+            }
             let runs = local_runs(&d_map, 0, &segs);
             unpack_seg_runs(dst.local_mut(), &runs, &buf);
         } else {
-            sends.push((dp, buf));
+            // Remote legs ride pooled chunks; packing straight into the
+            // message buffer keeps the single-copy discipline.
+            let mut chunk = cx.chunk_for::<T>(total);
+            for &(s, l) in &segs {
+                chunk.push_slice(&vals[s - lo..s - lo + l]);
+            }
+            sends.push((dp, chunk));
         }
     }
-    sends.sort_by_key(|&(dp, _)| dp);
-    for (dp, buf) in sends {
-        cx.send_phys(dp, tag, buf);
+    sends.sort_by_key(|s| s.0);
+    for (dp, chunk) in sends {
+        cx.send_chunk_phys(dp, tag, chunk);
     }
 
     // Receive: walk every sender's range in virtual-rank order, keeping
@@ -129,9 +135,10 @@ fn scatter_side<T: Elem>(
             }
             let runs = local_runs(&d_map, 0, &segs);
             let total: usize = segs.iter().map(|&(_, l)| l).sum();
-            let buf: Vec<T> = cx.recv_phys(sp, tag);
-            debug_assert_eq!(buf.len(), total, "repartition set mismatch");
-            unpack_seg_runs(dst.local_mut(), &runs, &buf);
+            let chunk = cx.recv_chunk_phys(sp, tag);
+            debug_assert_eq!(chunk.elems(), total, "repartition set mismatch");
+            unpack_seg_runs_chunk(dst.local_mut(), &runs, &chunk);
+            cx.release_chunk(chunk);
         }
     }
 }

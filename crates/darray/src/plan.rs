@@ -27,6 +27,7 @@
 use std::ops::Range;
 
 use fx_core::GroupHandle;
+use fx_runtime::Chunk;
 
 use crate::dist::{DimMap, Dist};
 
@@ -90,6 +91,27 @@ pub fn unpack_seg_runs<T: Copy>(dst: &mut [T], runs: &[Seg], buf: &[T]) {
         off += len;
     }
     debug_assert_eq!(off, buf.len());
+}
+
+/// Pack elements of `src` along `runs` into a pooled [`Chunk`] — the
+/// zero-allocation analogue of [`pack_seg_runs`] (the chunk's storage
+/// comes from the sender's buffer pool and is recycled by the receiver).
+/// Identical buffer contents and ordering.
+pub fn pack_seg_runs_into<T: Copy + Send + 'static>(src: &[T], runs: &[Seg], chunk: &mut Chunk) {
+    for (start, len) in pieces(runs) {
+        chunk.push_slice(&src[start..start + len]);
+    }
+}
+
+/// Scatter a received [`Chunk`] into `dst` along `runs` — the chunk
+/// analogue of [`unpack_seg_runs`].
+pub fn unpack_seg_runs_chunk<T: Copy + Send + 'static>(dst: &mut [T], runs: &[Seg], chunk: &Chunk) {
+    let mut off = 0;
+    for (start, len) in pieces(runs) {
+        chunk.read_into(off, &mut dst[start..start + len]);
+        off += len;
+    }
+    debug_assert_eq!(off, chunk.elems());
 }
 
 /// Copy elements from `src` along `s_runs` to `dst` along `d_runs`
@@ -670,6 +692,57 @@ pub fn unpack2<T: Copy>(dst: &mut [T], pitch: usize, outer: &[Seg], inner: &[Seg
     debug_assert_eq!(off, buf.len());
 }
 
+/// Pack the cross product `outer x inner` of a row-major tile into a
+/// pooled [`Chunk`] — the zero-allocation analogue of [`pack2`], with
+/// identical buffer contents and ordering.
+pub fn pack2_into<T: Copy + Send + 'static>(
+    src: &[T],
+    pitch: usize,
+    outer: &[Seg],
+    inner: &[Seg],
+    transposed: bool,
+    chunk: &mut Chunk,
+) {
+    for (os, ol) in pieces(outer) {
+        for o in os..os + ol {
+            if transposed {
+                for (is_, il) in pieces(inner) {
+                    for i in is_..is_ + il {
+                        chunk.push_slice(&src[i * pitch + o..i * pitch + o + 1]);
+                    }
+                }
+            } else {
+                let row = o * pitch;
+                for (is_, il) in pieces(inner) {
+                    chunk.push_slice(&src[row + is_..row + is_ + il]);
+                }
+            }
+        }
+    }
+}
+
+/// Scatter a received [`Chunk`] into the cross product `outer x inner` of
+/// a row-major tile — the chunk analogue of [`unpack2`].
+pub fn unpack2_chunk<T: Copy + Send + 'static>(
+    dst: &mut [T],
+    pitch: usize,
+    outer: &[Seg],
+    inner: &[Seg],
+    chunk: &Chunk,
+) {
+    let mut off = 0;
+    for (os, ol) in pieces(outer) {
+        for o in os..os + ol {
+            let row = o * pitch;
+            for (is_, il) in pieces(inner) {
+                chunk.read_into(off, &mut dst[row + is_..row + is_ + il]);
+                off += il;
+            }
+        }
+    }
+    debug_assert_eq!(off, chunk.elems());
+}
+
 impl Plan2 {
     /// Build the 2-D plan for processor `me`. Shapes are implied by the
     /// maps (`d_rmap.n x d_cmap.n` destination elements). Debug builds
@@ -969,6 +1042,46 @@ pub fn unpack3<T: Copy>(dst: &mut [T], (l1, l2): (usize, usize), dims: &[Vec<Seg
         }
     }
     debug_assert_eq!(off, buf.len());
+}
+
+/// Pack the cross product of three run lists out of a row-major tile
+/// into a pooled [`Chunk`] — the zero-allocation analogue of [`pack3`],
+/// with identical buffer contents and ordering.
+pub fn pack3_into<T: Copy + Send + 'static>(
+    src: &[T],
+    (l1, l2): (usize, usize),
+    dims: &[Vec<Seg>; 3],
+    chunk: &mut Chunk,
+) {
+    for e0 in expand_runs(&dims[0]) {
+        for e1 in expand_runs(&dims[1]) {
+            let base = (e0 * l1 + e1) * l2;
+            for (s, l) in pieces(&dims[2]) {
+                chunk.push_slice(&src[base + s..base + s + l]);
+            }
+        }
+    }
+}
+
+/// Scatter a received [`Chunk`] into the cross product of three run lists
+/// of a row-major tile — the chunk analogue of [`unpack3`].
+pub fn unpack3_chunk<T: Copy + Send + 'static>(
+    dst: &mut [T],
+    (l1, l2): (usize, usize),
+    dims: &[Vec<Seg>; 3],
+    chunk: &Chunk,
+) {
+    let mut off = 0;
+    for e0 in expand_runs(&dims[0]) {
+        for e1 in expand_runs(&dims[1]) {
+            let base = (e0 * l1 + e1) * l2;
+            for (s, l) in pieces(&dims[2]) {
+                chunk.read_into(off, &mut dst[base + s..base + s + l]);
+                off += l;
+            }
+        }
+    }
+    debug_assert_eq!(off, chunk.elems());
 }
 
 impl Plan3 {

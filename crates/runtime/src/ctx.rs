@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 
 use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
-use crate::payload::{erase, unerase, Payload};
-use crate::trace::{EventLog, PlanStats};
+use crate::payload::{erase, unerase, BufferPool, Chunk, MsgBody, Payload};
+use crate::trace::{EventLog, HostStats, PlanStats};
 
 /// Shared state of one run of the machine.
 pub(crate) struct World {
@@ -36,6 +36,10 @@ pub struct ProcCtx {
     /// Communication-plan instrumentation (host-side only; never affects
     /// the virtual clock).
     plan_stats: PlanStats,
+    /// Transport instrumentation (host-side only).
+    host: HostStats,
+    /// Recycled message-buffer storage for the chunk fast path.
+    pool: BufferPool,
 }
 
 impl ProcCtx {
@@ -49,6 +53,8 @@ impl ProcCtx {
             sent_msgs: 0,
             sent_bytes: 0,
             plan_stats: PlanStats::default(),
+            host: HostStats::default(),
+            pool: BufferPool::default(),
         }
     }
 
@@ -113,20 +119,29 @@ impl ProcCtx {
         }
     }
 
+    /// Advance the clock for an outgoing message of `nbytes` and return
+    /// its arrival time at the destination. Shared by both send paths so
+    /// the chunk fast path charges exactly what the boxed path charges.
+    #[inline]
+    fn charge_send(&mut self, nbytes: usize) -> f64 {
+        match self.world.mode {
+            TimeMode::Real => 0.0,
+            TimeMode::Simulated(m) => {
+                self.clock += m.send_busy(nbytes);
+                m.arrival(self.clock)
+            }
+        }
+    }
+
     /// Send `value` to physical processor `dst` on channel `tag`.
     ///
     /// Direct deposit: the call enqueues into `dst`'s mailbox and returns;
     /// the sender is only charged its CPU overhead plus the per-byte gap.
     pub fn send<T: Payload>(&mut self, dst: usize, tag: u64, value: T) {
         assert!(dst < self.world.nprocs, "send to nonexistent processor {dst}");
+        let t0 = Instant::now();
         let (payload, nbytes) = erase(value);
-        let arrival = match self.world.mode {
-            TimeMode::Real => 0.0,
-            TimeMode::Simulated(m) => {
-                self.clock += m.send_busy(nbytes);
-                m.arrival(self.clock)
-            }
-        };
+        let arrival = self.charge_send(nbytes);
         self.sent_msgs += 1;
         self.sent_bytes += nbytes as u64;
         self.world.mailboxes[dst].deposit(Envelope {
@@ -134,21 +149,111 @@ impl ProcCtx {
             tag,
             arrival,
             nbytes,
-            payload,
+            payload: MsgBody::Boxed(payload),
         });
+        self.host.send_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Receive a `T` from physical processor `src` on channel `tag`,
     /// blocking until it arrives. Matching is FIFO per `(src, tag)`.
     pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        let env = self.take_env(src, tag);
+        match env.payload {
+            MsgBody::Boxed(b) => unerase(b, src, tag),
+            MsgBody::Chunk(_) => panic!(
+                "recv type mismatch for message from processor {src} tag {tag:#x}: \
+                 expected {}, got a byte chunk (receive it with recv_chunk)",
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// An empty chunk for `elems` elements of type `T`, drawn from this
+    /// processor's buffer pool (no allocation once the pool is warm).
+    pub fn chunk_for<T: Copy + Send + 'static>(&mut self, elems: usize) -> Chunk {
+        let bytes = self.pool.acquire(elems * std::mem::size_of::<T>());
+        Chunk::from_bytes::<T>(bytes)
+    }
+
+    /// Return a chunk's storage to this processor's buffer pool so the
+    /// next transfer of a similar size reuses it.
+    pub fn release_chunk(&mut self, chunk: Chunk) {
+        self.pool.release(chunk.into_bytes());
+    }
+
+    /// Send a packed [`Chunk`] to processor `dst` on channel `tag`.
+    ///
+    /// The fast path for plan-driven bulk transfers: same virtual-time
+    /// charges, message counters, and FIFO ordering as [`ProcCtx::send`]
+    /// of an equal-sized `Vec<T>`, but no `Box<dyn Any>` allocation — the
+    /// pooled buffer itself moves into the receiver's mailbox.
+    pub fn send_chunk(&mut self, dst: usize, tag: u64, chunk: Chunk) {
+        assert!(dst < self.world.nprocs, "send to nonexistent processor {dst}");
+        let t0 = Instant::now();
+        let nbytes = chunk.nbytes();
+        let arrival = self.charge_send(nbytes);
+        self.sent_msgs += 1;
+        self.sent_bytes += nbytes as u64;
+        self.host.chunk_msgs += 1;
+        self.host.chunk_bytes += nbytes as u64;
+        self.world.mailboxes[dst].deposit(Envelope {
+            src: self.rank,
+            tag,
+            arrival,
+            nbytes,
+            payload: MsgBody::Chunk(chunk),
+        });
+        self.host.send_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Receive a [`Chunk`] from processor `src` on channel `tag`. After
+    /// unpacking, hand the chunk to [`ProcCtx::release_chunk`] so its
+    /// storage recycles through this processor's pool.
+    pub fn recv_chunk(&mut self, src: usize, tag: u64) -> Chunk {
+        let env = self.take_env(src, tag);
+        match env.payload {
+            MsgBody::Chunk(c) => c,
+            MsgBody::Boxed(_) => panic!(
+                "recv type mismatch for message from processor {src} tag {tag:#x}: \
+                 expected a byte chunk, got a boxed payload (receive it with recv)"
+            ),
+        }
+    }
+
+    /// Receive a chunk of exactly `dst.len()` elements from `src` and
+    /// unpack it contiguously into `dst`; the chunk's storage goes back to
+    /// this processor's pool. The receive half of a dense transfer.
+    pub fn recv_chunk_into<T: Copy + Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: u64,
+        dst: &mut [T],
+    ) {
+        let chunk = self.recv_chunk(src, tag);
+        assert!(
+            chunk.elems() == dst.len(),
+            "recv_chunk_into length mismatch from processor {src} tag {tag:#x}: \
+             chunk has {} elems, destination holds {}",
+            chunk.elems(),
+            dst.len()
+        );
+        chunk.read_into(0, dst);
+        self.release_chunk(chunk);
+    }
+
+    /// Blocking mailbox take with receive-side clock update and host
+    /// wait-time accounting (common to `recv` and `recv_chunk`).
+    fn take_env(&mut self, src: usize, tag: u64) -> Envelope {
         assert!(src < self.world.nprocs, "recv from nonexistent processor {src}");
+        let t0 = Instant::now();
         let env =
             self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout);
+        self.host.recv_wait_ns += t0.elapsed().as_nanos() as u64;
         if let TimeMode::Simulated(m) = self.world.mode {
             let t = self.clock.max(env.arrival) + m.recv_busy(env.nbytes);
             self.clock = t;
         }
-        unerase(env.payload, src, tag)
+        env
     }
 
     /// True if a message from `src` with `tag` is already deposited.
@@ -195,8 +300,23 @@ impl ProcCtx {
         self.plan_stats
     }
 
-    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64, PlanStats) {
+    /// Snapshot of this processor's transport counters so far. The
+    /// `lane_bytes` view is only filled in by the run harness (in the
+    /// [`crate::RunReport`]); mid-run it is empty.
+    pub fn host_stats(&self) -> HostStats {
+        let mut h = self.host.clone();
+        h.pool_hits = self.pool.hits;
+        h.pool_misses = self.pool.misses;
+        h.plan = self.plan_stats;
+        h
+    }
+
+    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64, PlanStats, HostStats) {
         let t = self.now();
-        (t, self.events, self.sent_msgs, self.sent_bytes, self.plan_stats)
+        let mut host = self.host;
+        host.pool_hits = self.pool.hits;
+        host.pool_misses = self.pool.misses;
+        host.plan = self.plan_stats;
+        (t, self.events, self.sent_msgs, self.sent_bytes, self.plan_stats, host)
     }
 }

@@ -36,6 +36,6 @@ mod trace;
 
 pub use ctx::ProcCtx;
 pub use model::{MachineModel, TimeMode};
-pub use payload::Payload;
+pub use payload::{Chunk, Payload};
 pub use run::{run, Machine, RunReport};
-pub use trace::{chrome_trace_json, Event, EventLog, PlanStats};
+pub use trace::{chrome_trace_json, Event, EventLog, HostStats, PlanStats};

@@ -1,4 +1,4 @@
-//! Per-processor mailboxes.
+//! Per-processor mailboxes, sharded into per-source lanes.
 //!
 //! Each simulated processor owns one mailbox. A send *deposits* the message
 //! directly into the destination mailbox (no rendezvous), mirroring the
@@ -6,13 +6,22 @@
 //! al. '95]. Receives match on `(source, tag)` and are FIFO per channel,
 //! which — together with the absence of a wildcard source — makes virtual
 //! time fully deterministic.
+//!
+//! The mailbox is **sharded by sender**: one lane (mutex + condvar +
+//! tag-keyed queues) per source rank, so concurrent senders depositing
+//! into the same receiver never contend on a shared lock. The receiver
+//! always knows which source it is waiting on (there is no wildcard
+//! receive), so it blocks on exactly that lane's condvar. Sharding is a
+//! host-side throughput optimization only: message matching, FIFO order
+//! per `(src, tag)`, and the deadlock watchdog are unchanged.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::payload::AnyPayload;
+use crate::payload::MsgBody;
 
 /// A message at rest in a mailbox.
 pub(crate) struct Envelope {
@@ -25,68 +34,89 @@ pub(crate) struct Envelope {
     pub arrival: f64,
     /// Wire size used for receiver-side cost accounting.
     pub nbytes: usize,
-    /// The type-erased value.
-    pub payload: AnyPayload,
+    /// The message body (type-erased box or pooled byte chunk).
+    pub payload: MsgBody,
 }
 
+/// Queue depths of one mailbox at a point in time: `(src, tag, count)`
+/// for every non-empty `(src, tag)` channel, ascending by source then tag.
+pub(crate) type DepthSnapshot = Vec<(usize, u64, usize)>;
+
 #[derive(Default)]
-struct MailState {
-    queues: HashMap<(usize, u64), VecDeque<Envelope>>,
-    /// Set when some processor panicked: everyone blocked here must unwind
-    /// too so the whole run fails instead of hanging.
-    poisoned: bool,
+struct LaneState {
+    /// FIFO queues keyed by tag; the source is fixed per lane.
+    queues: HashMap<u64, VecDeque<Envelope>>,
+    /// Payload bytes deposited on this lane so far (host observability).
+    bytes: u64,
 }
 
-/// Mailbox of one physical processor.
+/// One sender's shard of a mailbox.
 #[derive(Default)]
-pub(crate) struct Mailbox {
-    state: Mutex<MailState>,
+struct Lane {
+    state: Mutex<LaneState>,
     cvar: Condvar,
 }
 
+/// Mailbox of one physical processor: one lane per possible sender.
+pub(crate) struct Mailbox {
+    lanes: Vec<Lane>,
+    /// Set when some processor panicked: everyone blocked here must unwind
+    /// too so the whole run fails instead of hanging.
+    poisoned: AtomicBool,
+}
+
 impl Mailbox {
-    /// Deposit a message (called by the *sender*).
+    /// A mailbox able to receive from `nprocs` senders (including self).
+    pub fn new(nprocs: usize) -> Self {
+        Mailbox {
+            lanes: (0..nprocs).map(|_| Lane::default()).collect(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Deposit a message (called by the *sender*). Only the sender's own
+    /// lane is locked, so concurrent senders never serialize on each other.
     ///
     /// Wakes at most one waiter: each mailbox belongs to exactly one
     /// simulated processor, and only that processor's host thread ever
     /// blocks in [`Mailbox::take`] (sends are deposit-only and never
     /// wait). With a single consumer, `notify_one` is sufficient and
     /// avoids a thundering herd when many senders deposit back-to-back.
-    /// `poison`, by contrast, keeps `notify_all` — it is the one event
-    /// that must reach every waiter no matter who is blocked.
+    /// `poison`, by contrast, notifies every lane — it is the one event
+    /// that must reach the waiter no matter which lane it blocks on.
     pub fn deposit(&self, env: Envelope) {
-        let mut st = self.state.lock();
-        st.queues.entry((env.src, env.tag)).or_default().push_back(env);
+        let lane = &self.lanes[env.src];
+        let mut st = lane.state.lock();
+        st.bytes += env.nbytes as u64;
+        st.queues.entry(env.tag).or_default().push_back(env);
         drop(st);
-        self.cvar.notify_one();
+        lane.cvar.notify_one();
     }
 
     /// Block until a message from `src` with `tag` is available and take it.
     ///
     /// `timeout` bounds the wait; exceeding it indicates a deadlock in the
     /// SPMD program (mismatched send/recv or collective) and panics with a
-    /// diagnostic listing what *is* pending.
+    /// per-`(src, tag)` queue-depth snapshot of every lane, so a stuck
+    /// pipeline shows at a glance what *is* pending and from whom.
     pub fn take(&self, src: usize, tag: u64, me: usize, timeout: Duration) -> Envelope {
-        let mut st = self.state.lock();
+        let lane = &self.lanes[src];
+        let mut st = lane.state.lock();
         loop {
-            if st.poisoned {
+            if self.poisoned.load(Ordering::Acquire) {
                 panic!("processor {me}: aborting recv, another processor panicked");
             }
-            if let Some(q) = st.queues.get_mut(&(src, tag)) {
+            if let Some(q) = st.queues.get_mut(&tag) {
                 if let Some(env) = q.pop_front() {
                     return env;
                 }
             }
-            if self.cvar.wait_for(&mut st, timeout).timed_out() {
-                let pending: Vec<(usize, u64, usize)> = st
-                    .queues
-                    .iter()
-                    .filter(|(_, q)| !q.is_empty())
-                    .map(|(&(s, t), q)| (s, t, q.len()))
-                    .collect();
+            if lane.cvar.wait_for(&mut st, timeout).timed_out() {
+                drop(st);
+                let pending = self.depth_snapshot();
                 panic!(
                     "processor {me}: recv(src={src}, tag={tag:#x}) timed out after \
-                     {timeout:?} — likely deadlock. Pending (src, tag, count): {pending:?}"
+                     {timeout:?} — likely deadlock. Pending per (src, tag, count): {pending:?}"
                 );
             }
         }
@@ -94,20 +124,54 @@ impl Mailbox {
 
     /// Non-blocking probe: is a message from `src` with `tag` waiting?
     pub fn probe(&self, src: usize, tag: u64) -> bool {
-        let st = self.state.lock();
-        st.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())
+        let st = self.lanes[src].state.lock();
+        st.queues.get(&tag).is_some_and(|q| !q.is_empty())
     }
 
     /// Wake all waiters with a poison flag after a panic elsewhere.
+    ///
+    /// Locking each lane before notifying closes the race with a receiver
+    /// that checked the flag and is about to wait: it is either still
+    /// pre-check (and will see the flag) or already parked (and will be
+    /// notified).
     pub fn poison(&self) {
-        self.state.lock().poisoned = true;
-        self.cvar.notify_all();
+        self.poisoned.store(true, Ordering::Release);
+        for lane in &self.lanes {
+            drop(lane.state.lock());
+            lane.cvar.notify_all();
+        }
     }
 
     /// Number of undelivered messages (used by the run harness to detect
     /// programs that exit leaving messages unreceived).
     pub fn undelivered(&self) -> usize {
-        self.state.lock().queues.values().map(VecDeque::len).sum()
+        self.lanes
+            .iter()
+            .map(|l| l.state.lock().queues.values().map(VecDeque::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Depths of every non-empty `(src, tag)` queue, ascending by source
+    /// then tag — the deadlock diagnostic and debugging view.
+    pub fn depth_snapshot(&self) -> DepthSnapshot {
+        let mut out: DepthSnapshot = Vec::new();
+        for (src, lane) in self.lanes.iter().enumerate() {
+            let st = lane.state.lock();
+            let mut tags: Vec<(u64, usize)> = st
+                .queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&t, q)| (t, q.len()))
+                .collect();
+            tags.sort_unstable();
+            out.extend(tags.into_iter().map(|(t, c)| (src, t, c)));
+        }
+        out
+    }
+
+    /// Payload bytes deposited per source lane since the run began.
+    pub fn lane_bytes(&self) -> Vec<u64> {
+        self.lanes.iter().map(|l| l.state.lock().bytes).collect()
     }
 }
 
@@ -118,29 +182,32 @@ mod tests {
 
     fn env(src: usize, tag: u64, v: u32) -> Envelope {
         let (payload, nbytes) = erase(v);
-        Envelope { src, tag, arrival: 0.0, nbytes, payload }
+        Envelope { src, tag, arrival: 0.0, nbytes, payload: MsgBody::Boxed(payload) }
+    }
+
+    fn take_u32(mb: &Mailbox, src: usize, tag: u64) -> u32 {
+        let e = mb.take(src, tag, 0, Duration::from_secs(1));
+        match e.payload {
+            MsgBody::Boxed(b) => crate::payload::unerase(b, src, tag),
+            MsgBody::Chunk(_) => panic!("expected boxed payload"),
+        }
     }
 
     #[test]
     fn fifo_per_channel() {
-        let mb = Mailbox::default();
+        let mb = Mailbox::new(4);
         mb.deposit(env(1, 7, 10));
         mb.deposit(env(1, 7, 20));
-        let a = mb.take(1, 7, 0, Duration::from_secs(1));
-        let b = mb.take(1, 7, 0, Duration::from_secs(1));
-        let av: u32 = crate::payload::unerase(a.payload, 1, 7);
-        let bv: u32 = crate::payload::unerase(b.payload, 1, 7);
-        assert_eq!((av, bv), (10, 20));
+        assert_eq!(take_u32(&mb, 1, 7), 10);
+        assert_eq!(take_u32(&mb, 1, 7), 20);
     }
 
     #[test]
     fn channels_are_independent() {
-        let mb = Mailbox::default();
+        let mb = Mailbox::new(4);
         mb.deposit(env(1, 7, 10));
         mb.deposit(env(2, 7, 20));
-        let b = mb.take(2, 7, 0, Duration::from_secs(1));
-        let bv: u32 = crate::payload::unerase(b.payload, 2, 7);
-        assert_eq!(bv, 20);
+        assert_eq!(take_u32(&mb, 2, 7), 20);
         assert!(mb.probe(1, 7));
         assert!(!mb.probe(2, 7));
         assert_eq!(mb.undelivered(), 1);
@@ -149,15 +216,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "timed out")]
     fn take_times_out_with_diagnostic() {
-        let mb = Mailbox::default();
+        let mb = Mailbox::new(4);
         mb.deposit(env(3, 9, 1));
         mb.take(1, 7, 0, Duration::from_millis(20));
     }
 
     #[test]
+    fn timeout_diagnostic_reports_lane_depths() {
+        let mb = Mailbox::new(4);
+        mb.deposit(env(3, 9, 1));
+        mb.deposit(env(3, 9, 2));
+        mb.deposit(env(2, 5, 7));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mb.take(1, 7, 0, Duration::from_millis(20));
+        }))
+        .expect_err("must time out");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("(2, 5, 1)"), "snapshot missing lane 2: {msg}");
+        assert!(msg.contains("(3, 9, 2)"), "snapshot missing depth-2 queue: {msg}");
+    }
+
+    #[test]
     #[should_panic(expected = "another processor panicked")]
     fn poison_unblocks_with_panic() {
-        let mb = std::sync::Arc::new(Mailbox::default());
+        let mb = std::sync::Arc::new(Mailbox::new(4));
         let mb2 = mb.clone();
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
@@ -168,14 +250,26 @@ mod tests {
 
     #[test]
     fn cross_thread_delivery() {
-        let mb = std::sync::Arc::new(Mailbox::default());
+        let mb = std::sync::Arc::new(Mailbox::new(8));
         let mb2 = mb.clone();
         let h = std::thread::spawn(move || {
             mb2.deposit(env(5, 1, 42));
         });
         let e = mb.take(5, 1, 0, Duration::from_secs(5));
         h.join().unwrap();
-        let v: u32 = crate::payload::unerase(e.payload, 5, 1);
+        let v: u32 = match e.payload {
+            MsgBody::Boxed(b) => crate::payload::unerase(b, 5, 1),
+            MsgBody::Chunk(_) => panic!("expected boxed payload"),
+        };
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn lane_bytes_accumulate_per_source() {
+        let mb = Mailbox::new(3);
+        mb.deposit(env(1, 7, 10)); // 4 bytes
+        mb.deposit(env(1, 8, 20)); // 4 bytes
+        mb.deposit(env(2, 7, 30)); // 4 bytes
+        assert_eq!(mb.lane_bytes(), vec![0, 8, 4]);
     }
 }

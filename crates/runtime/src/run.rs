@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use crate::ctx::{ProcCtx, World};
 use crate::mailbox::Mailbox;
 use crate::model::{MachineModel, TimeMode};
-use crate::trace::{EventLog, PlanStats};
+use crate::trace::{EventLog, HostStats, PlanStats};
 
 /// Configuration of one machine instance.
 #[derive(Debug, Clone)]
@@ -52,6 +52,10 @@ pub struct RunReport<R> {
     /// Per-processor communication-plan counters (cache hits/misses and
     /// host-side pack time). All-zero for programs that never use plans.
     pub plan_stats: Vec<PlanStats>,
+    /// Per-processor host-side transport counters (send/recv wall time,
+    /// buffer-pool hit rate, chunk traffic, bytes received per mailbox
+    /// lane). Host observability only; never affects virtual time.
+    pub host_stats: Vec<HostStats>,
     /// Messages deposited but never received (0 for a clean program).
     pub undelivered: usize,
 }
@@ -123,7 +127,7 @@ where
     let world = Arc::new(World {
         nprocs: machine.nprocs,
         mode: machine.mode,
-        mailboxes: (0..machine.nprocs).map(|_| Mailbox::default()).collect(),
+        mailboxes: (0..machine.nprocs).map(|_| Mailbox::new(machine.nprocs)).collect(),
         recv_timeout: machine.recv_timeout,
     });
     let start = Instant::now();
@@ -139,8 +143,8 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes, plans) = cx.into_parts();
-                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans })
+                        let (time, events, msgs, bytes, plans, host) = cx.into_parts();
+                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host })
                     }
                     Err(payload) => {
                         // Unblock everyone else before reporting.
@@ -182,15 +186,19 @@ where
     let mut events = Vec::with_capacity(machine.nprocs);
     let mut traffic = Vec::with_capacity(machine.nprocs);
     let mut plan_stats = Vec::with_capacity(machine.nprocs);
-    for out in outcomes.into_iter() {
+    let mut host_stats = Vec::with_capacity(machine.nprocs);
+    for (rank, out) in outcomes.into_iter().enumerate() {
         let out = out.expect("missing processor outcome despite no panic");
         results.push(out.value);
         times.push(out.time);
         events.push(out.events);
         traffic.push((out.msgs, out.bytes));
         plan_stats.push(out.plans);
+        let mut host = out.host;
+        host.lane_bytes = world.mailboxes[rank].lane_bytes();
+        host_stats.push(host);
     }
-    RunReport { results, times, events, traffic, plan_stats, undelivered }
+    RunReport { results, times, events, traffic, plan_stats, host_stats, undelivered }
 }
 
 struct ProcOutcome<R> {
@@ -200,6 +208,7 @@ struct ProcOutcome<R> {
     msgs: u64,
     bytes: u64,
     plans: PlanStats,
+    host: HostStats,
 }
 
 #[cfg(test)]

@@ -28,6 +28,35 @@ pub struct PlanStats {
     pub pack_ns: u64,
 }
 
+/// Per-processor host-side transport counters.
+///
+/// Where [`PlanStats`] measures plan construction and pack loops, this
+/// block measures the transport itself: wall-clock nanoseconds spent in
+/// sends and blocked in receives, buffer-pool effectiveness, chunk-path
+/// traffic, and bytes deposited per mailbox lane. Like `PlanStats`, it is
+/// host observability only — reading or enabling it never moves the
+/// virtual clock, so simulated results stay bit-identical.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HostStats {
+    /// Host nanoseconds spent inside `send`/`send_chunk` calls.
+    pub send_ns: u64,
+    /// Host nanoseconds spent blocked waiting for messages to arrive.
+    pub recv_wait_ns: u64,
+    /// Buffer-pool hits (a pooled buffer was recycled).
+    pub pool_hits: u64,
+    /// Buffer-pool misses (the allocator was invoked).
+    pub pool_misses: u64,
+    /// Messages sent via the chunk fast path.
+    pub chunk_msgs: u64,
+    /// Payload bytes sent via the chunk fast path.
+    pub chunk_bytes: u64,
+    /// Payload bytes deposited into each source lane of this processor's
+    /// mailbox (index = sender rank). Filled in by the run harness.
+    pub lane_bytes: Vec<u64>,
+    /// The processor's communication-plan counters, for one-stop reading.
+    pub plan: PlanStats,
+}
+
 /// One timestamped mark on a processor's clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {

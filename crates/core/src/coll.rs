@@ -25,10 +25,15 @@ impl Cx<'_> {
     /// maximum arrival time plus the tree latency — the behaviour of a real
     /// subset barrier.
     pub fn barrier(&mut self) {
+        // Scoped so the profiler attributes the barrier's send/recv busy
+        // halves (and the idle gaps around them) to "barrier" rather than
+        // to the surrounding stage.
+        self.runtime().push_scope("barrier");
         // The reduce's Option result (Some on the root, None elsewhere) is
         // exactly the broadcast leg's input — no placeholder value needed.
         let token = self.reduce(0, (), |(), ()| ());
         self.bcast_opt(0, token);
+        self.runtime().pop_scope();
     }
 
     /// Broadcast `value` from virtual rank `root` to every member of the

@@ -112,6 +112,26 @@ impl<'a> Cx<'a> {
         self.rt.time_mode()
     }
 
+    /// True when the machine records duration spans
+    /// (`Machine::with_profiling(true)` under simulated time). Layers use
+    /// this to skip scope bookkeeping entirely on unprofiled runs.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.rt.profiling()
+    }
+
+    /// Execute `f` with `name` pushed onto the span scope path, so every
+    /// span recorded inside (compute charges, send/recv busy halves) is
+    /// tagged `…/name`. No-op when not profiling. Task regions push their
+    /// subgroup names automatically; use this for finer-grained stage
+    /// labels (`cx.scoped("cffts", |cx| …)`).
+    pub fn scoped<R>(&mut self, name: &str, f: impl FnOnce(&mut Cx) -> R) -> R {
+        self.rt.push_scope(name);
+        let out = f(self);
+        self.rt.pop_scope();
+        out
+    }
+
     // ----- group-relative messaging ---------------------------------------
 
     /// Send `value` to virtual processor `dst` of the current group on user

@@ -53,11 +53,21 @@ impl Cx<'_> {
         B: FnMut(usize, &mut A),
         F: Fn(A, A) -> A,
     {
+        // Scoped so the profiler splits the construct into its do phase
+        // (compute spans under "pdo/do") and merge phase (the reduction's
+        // communication under "pdo/merge").
+        self.runtime().push_scope("pdo");
+        self.runtime().push_scope("do");
         let mut acc = init;
         for i in self.my_iters(range, sched) {
             body(i, &mut acc);
         }
-        self.allreduce(acc, combine)
+        self.runtime().pop_scope();
+        self.runtime().push_scope("merge");
+        let out = self.allreduce(acc, combine);
+        self.runtime().pop_scope();
+        self.runtime().pop_scope();
+        out
     }
 
     /// `pdo` without a reduction: run `body(i)` for this processor's

@@ -39,7 +39,11 @@ impl<'p> TaskRegion<'p> {
         }
         let handle = self.part.subgroups()[idx].handle().clone();
         let cell = self.part.seq_cell(idx);
+        // Tag spans recorded inside the block with the subgroup name so the
+        // profiler attributes time to stages. No-op unless profiling.
+        cx.runtime().push_scope(name);
         let (out, seq) = cx.enter_with_seq(&handle, cell.get(), f);
+        cx.runtime().pop_scope();
         cell.set(seq);
         Some(out)
     }

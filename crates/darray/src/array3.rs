@@ -242,10 +242,14 @@ impl<T: Elem> DArray3<T> {
 /// shape (any distributions/groups) — the 3-D analogue of
 /// [`crate::assign2`], with the same minimal-processor-subset skipping.
 pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
+    assert_eq!(dst.shape(), src.shape(), "assign3 shape mismatch");
+    cx.scoped("assign3", |cx| assign3_inner(cx, dst, src));
+}
+
+fn assign3_inner<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
     use crate::plan::{pack3, pack3_into, unpack3, unpack3_chunk, Key3, Plan3, Side3};
     use std::time::Instant;
 
-    assert_eq!(dst.shape(), src.shape(), "assign3 shape mismatch");
     let tag = cx.next_op_tag();
     let me = cx.phys_rank();
     if !src.is_member() && !dst.is_member() {
@@ -307,6 +311,10 @@ pub struct PlaneHalo<T> {
 /// a `(*, BLOCK, *)`-distributed array. Collective over the array's
 /// group.
 pub fn exchange_plane_halo<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -> PlaneHalo<T> {
+    cx.scoped("plane_halo", |cx| exchange_plane_halo_inner(cx, a, width))
+}
+
+fn exchange_plane_halo_inner<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize) -> PlaneHalo<T> {
     assert_eq!(
         cx.group().gid(),
         a.group().gid(),

@@ -73,7 +73,7 @@ pub fn copy_remap1<T: Elem>(
 pub fn assign1<T: Elem>(cx: &mut Cx, dst: &mut DArray1<T>, src: &DArray1<T>) {
     assert_eq!(dst.n(), src.n(), "assign1 shape mismatch");
     let n = dst.n();
-    copy_shift1_range(cx, dst, 0..n, src, 0, Participation::Minimal);
+    cx.scoped("assign1", |cx| copy_shift1_range(cx, dst, 0..n, src, 0, Participation::Minimal));
 }
 
 /// `dst[i] = src[i + shift]` for `i` in `range` — the affine special case
@@ -293,7 +293,7 @@ pub fn assign2_with<T: Elem>(
 ) {
     assert_eq!(dst.rows(), src.rows(), "assign2 row mismatch");
     assert_eq!(dst.cols(), src.cols(), "assign2 col mismatch");
-    plan_copy2(cx, dst, src, false, mode);
+    cx.scoped("assign2", |cx| plan_copy2(cx, dst, src, false, mode));
 }
 
 /// Distributed transposition `dst[r][c] = src[c][r]` (the radar corner
@@ -301,7 +301,7 @@ pub fn assign2_with<T: Elem>(
 pub fn transpose2<T: Elem>(cx: &mut Cx, dst: &mut DArray2<T>, src: &DArray2<T>) {
     assert_eq!(dst.rows(), src.cols(), "transpose2 shape mismatch");
     assert_eq!(dst.cols(), src.rows(), "transpose2 shape mismatch");
-    plan_copy2(cx, dst, src, true, Participation::Minimal);
+    cx.scoped("transpose2", |cx| plan_copy2(cx, dst, src, true, Participation::Minimal));
 }
 
 /// Plan-cached 2-D copy: `dst[r][c] = src[r][c]` (or `src[c][r]` when

@@ -55,6 +55,10 @@ pub struct RowHalo<T> {
 /// that group (call it inside the owning `ON SUBGROUP` block). Every
 /// member must own at least `width` rows.
 pub fn exchange_row_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> RowHalo<T> {
+    cx.scoped("row_halo", |cx| exchange_row_halo_inner(cx, a, width))
+}
+
+fn exchange_row_halo_inner<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> RowHalo<T> {
     assert_eq!(
         cx.group().gid(),
         a.group().gid(),
@@ -152,6 +156,10 @@ pub struct ColHalo<T> {
 /// `(*, BLOCK)`-distributed matrix — the transposed twin of
 /// [`exchange_row_halo`].
 pub fn exchange_col_halo<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> ColHalo<T> {
+    cx.scoped("col_halo", |cx| exchange_col_halo_inner(cx, a, width))
+}
+
+fn exchange_col_halo_inner<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -> ColHalo<T> {
     assert_eq!(
         cx.group().gid(),
         a.group().gid(),

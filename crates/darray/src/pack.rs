@@ -35,7 +35,16 @@ pub fn repartition_by<T: Elem>(
             && !matches!(dst_false.dist(), Dist1::Replicated),
         "repartition_by does not support replicated arrays"
     );
+    cx.scoped("repartition", |cx| repartition_by_inner(cx, src, pred, dst_true, dst_false));
+}
 
+fn repartition_by_inner<T: Elem>(
+    cx: &mut Cx,
+    src: &DArray1<T>,
+    pred: impl Fn(&T) -> bool,
+    dst_true: &mut DArray1<T>,
+    dst_false: &mut DArray1<T>,
+) {
     // Local split, preserving local order.
     let (tvals, fvals): (Vec<T>, Vec<T>) = src.local().iter().copied().partition(|v| pred(v));
 

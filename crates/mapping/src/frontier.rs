@@ -82,19 +82,29 @@ fn allocations(procs: usize, nseg: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// C(procs-1, nseg-1): how many ways `procs` processors split into `nseg`
+/// positive parts. Saturates at `usize::MAX` instead of overflowing, so
+/// the exhaustive/hill-climb threshold test in [`allocations`] is exact
+/// for any space that is actually small. (A previous version saturated
+/// the multiply *before* the divide, which could truncate a huge space to
+/// a small wrong count and silently switch the optimizer to exhaustive
+/// enumeration of an astronomically large space.)
 fn num_compositions(procs: usize, nseg: usize) -> usize {
-    // C(procs-1, nseg-1), saturating.
-    let (mut n, mut k) = (procs - 1, nseg - 1);
+    let (n, k) = (procs - 1, nseg - 1);
     if k > n {
         return 0;
     }
-    k = k.min(n - k);
-    let mut acc: usize = 1;
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
     for i in 0..k {
-        acc = acc.saturating_mul(n - i) / (i + 1);
-        n = n.max(1);
+        // Exact at every step: C(n, i+1) = C(n, i) * (n-i) / (i+1), and
+        // the product of consecutive binomials is always divisible.
+        acc = acc * (n - i) as u128 / (i as u128 + 1);
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
     }
-    acc
+    acc as usize
 }
 
 fn compose(extra: usize, i: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
@@ -196,6 +206,36 @@ mod tests {
         // 2 extra over 3 slots: C(4,2) = 6 compositions.
         assert_eq!(got.len(), 6);
         assert!(got.iter().all(|v| v.iter().sum::<usize>() == 5));
+    }
+
+    #[test]
+    fn num_compositions_matches_direct_recursive_count() {
+        // Count compositions by direct recursion and compare: the closed
+        // form must agree wherever enumeration is feasible, including
+        // values straddling the 4096 exhaustive/hill-climb threshold.
+        fn count(procs: usize, nseg: usize) -> usize {
+            if nseg == 1 {
+                return usize::from(procs >= 1);
+            }
+            (1..=procs.saturating_sub(nseg - 1)).map(|first| count(procs - first, nseg - 1)).sum()
+        }
+        for procs in 1..=20 {
+            for nseg in 1..=procs {
+                assert_eq!(
+                    num_compositions(procs, nseg),
+                    count(procs, nseg),
+                    "procs={procs} nseg={nseg}"
+                );
+            }
+        }
+        // nseg > procs: no composition into positive parts.
+        assert_eq!(num_compositions(3, 5), 0);
+        // Near the threshold: C(16,8) = 12870 > 4096 must NOT be
+        // truncated into the exhaustive regime.
+        assert_eq!(num_compositions(17, 9), 12870);
+        assert!(num_compositions(17, 9) > 4096);
+        // Huge spaces saturate instead of wrapping.
+        assert_eq!(num_compositions(1000, 500), usize::MAX);
     }
 
     #[test]

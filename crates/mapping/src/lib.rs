@@ -24,4 +24,4 @@ pub use chain::{
     NetParams, Segment,
 };
 pub use frontier::tradeoff_frontier;
-pub use profile::StageProfile;
+pub use profile::{ProfileTable, StageProfile};

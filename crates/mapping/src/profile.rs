@@ -47,24 +47,94 @@ impl StageProfile {
     }
 
     /// Execution time on `p` processors: exact at samples, log-log
-    /// interpolated between them, clamped to the end samples outside.
+    /// interpolated between them, log-log **extrapolated** below the
+    /// smallest sample (from the slope of the first segment), clamped to
+    /// the last sample above the largest.
+    ///
+    /// Clamping below used to return the smallest sample's time — a
+    /// profile measured at p >= 2 then reported the p=2 cost for a serial
+    /// placement, underestimating serial stages and skewing the optimizer
+    /// toward giving them too few processors. Extrapolation assumes the
+    /// power-law shape continues; measure a p=1 sample when the exact
+    /// serial cost matters. Above the largest sample we still clamp:
+    /// kernels flatten out past their measured range, and optimistic
+    /// extrapolation there would *over*-reward wide mappings.
     pub fn time(&self, p: usize) -> f64 {
         assert!(p >= 1, "need at least one processor");
         let s = &self.samples;
-        if p <= s[0].0 {
+        if p == s[0].0 || (p < s[0].0 && s.len() == 1) {
             return s[0].1;
+        }
+        if p < s[0].0 {
+            return Self::loglog(p, s[0], s[1]);
         }
         if p >= s[s.len() - 1].0 {
             return s[s.len() - 1].1;
         }
         let i = s.partition_point(|&(q, _)| q <= p) - 1;
-        let (p0, t0) = s[i];
-        let (p1, t1) = s[i + 1];
-        if p == p0 {
-            return t0;
+        if p == s[i].0 {
+            return s[i].1;
         }
+        Self::loglog(p, s[i], s[i + 1])
+    }
+
+    /// Evaluate the log-log line through `(p0, t0)` and `(p1, t1)` at `p`.
+    fn loglog(p: usize, (p0, t0): (usize, f64), (p1, t1): (usize, f64)) -> f64 {
         let f = ((p as f64).ln() - (p0 as f64).ln()) / ((p1 as f64).ln() - (p0 as f64).ln());
         (t0.ln() + f * (t1.ln() - t0.ln())).exp()
+    }
+}
+
+/// Accumulator turning measured `(stage, processors, seconds)` samples
+/// into [`StageProfile`]s — the ingestion point between a measurement
+/// harness (e.g. `fx-bench` harvesting per-stage times from the runtime's
+/// span profiler at several subgroup sizes) and the chain optimizer.
+///
+/// Stages keep their first-insertion order, which is the pipeline order
+/// when the harness probes stages in sequence.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileTable {
+    stages: Vec<(String, Vec<(usize, f64)>)>,
+}
+
+impl ProfileTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ProfileTable::default()
+    }
+
+    /// Record one measurement of `stage` on `p` processors. Re-measuring
+    /// the same `(stage, p)` replaces the earlier sample.
+    pub fn add(&mut self, stage: &str, p: usize, seconds: f64) {
+        assert!(p >= 1 && seconds > 0.0, "need p >= 1 and a positive time");
+        let entry = match self.stages.iter_mut().find(|(n, _)| n == stage) {
+            Some((_, samples)) => samples,
+            None => {
+                self.stages.push((stage.to_string(), Vec::new()));
+                &mut self.stages.last_mut().unwrap().1
+            }
+        };
+        match entry.iter_mut().find(|(q, _)| *q == p) {
+            Some(slot) => slot.1 = seconds,
+            None => entry.push((p, seconds)),
+        }
+    }
+
+    /// The profile of one stage, if any sample was recorded for it.
+    pub fn profile(&self, stage: &str) -> Option<StageProfile> {
+        self.stages
+            .iter()
+            .find(|(n, _)| n == stage)
+            .map(|(n, samples)| StageProfile::from_samples(n.clone(), samples.clone()))
+    }
+
+    /// All profiles in first-insertion (pipeline) order — feed directly to
+    /// [`crate::ChainModel`].
+    pub fn into_profiles(self) -> Vec<StageProfile> {
+        self.stages
+            .into_iter()
+            .map(|(n, samples)| StageProfile::from_samples(n, samples))
+            .collect()
     }
 }
 
@@ -81,10 +151,36 @@ mod tests {
     }
 
     #[test]
-    fn clamps_outside_range() {
+    fn extrapolates_below_smallest_sample() {
+        // Regression: time(1) on a profile measured at p >= 2 used to
+        // return the p=2 cost (5.0), underestimating serial stages.
         let p = StageProfile::from_samples("s", vec![(2, 5.0), (8, 2.0)]);
-        assert_eq!(p.time(1), 5.0);
+        // Slope of the first segment: ln(2/5)/ln(8/2); extended to p=1.
+        let alpha = (2.0f64 / 5.0).ln() / (8.0f64 / 2.0).ln();
+        let expect = 5.0 * (0.5f64).powf(alpha);
+        assert!((p.time(1) - expect).abs() < 1e-12, "{} vs {expect}", p.time(1));
+        assert!(p.time(1) > 5.0, "serial cost must exceed the p=2 cost");
+        // Above the largest sample we still clamp (curves flatten out).
         assert_eq!(p.time(64), 2.0);
+        // Sample boundaries stay exact.
+        assert_eq!(p.time(2), 5.0);
+        assert_eq!(p.time(8), 2.0);
+    }
+
+    #[test]
+    fn single_sample_profiles_clamp_everywhere() {
+        let p = StageProfile::from_samples("s", vec![(4, 3.0)]);
+        assert_eq!(p.time(1), 3.0);
+        assert_eq!(p.time(4), 3.0);
+        assert_eq!(p.time(16), 3.0);
+    }
+
+    #[test]
+    fn extrapolation_matches_ideal_power_law() {
+        // An ideal T(p) = 16/p profile sampled only at {2, 4, 8} must
+        // extrapolate to exactly 16 at p=1.
+        let p = StageProfile::from_samples("s", vec![(2, 8.0), (4, 4.0), (8, 2.0)]);
+        assert!((p.time(1) - 16.0).abs() < 1e-9, "got {}", p.time(1));
     }
 
     #[test]
@@ -112,5 +208,22 @@ mod tests {
     #[should_panic(expected = "duplicate processor counts")]
     fn duplicate_samples_rejected() {
         StageProfile::from_samples("s", vec![(2, 5.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn profile_table_accumulates_in_pipeline_order() {
+        let mut t = ProfileTable::new();
+        t.add("fft", 1, 8.0);
+        t.add("hist", 1, 4.0);
+        t.add("fft", 4, 2.0);
+        t.add("hist", 4, 1.5);
+        t.add("fft", 4, 2.5); // re-measurement replaces
+        let profiles = t.clone().into_profiles();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].name, "fft");
+        assert_eq!(profiles[1].name, "hist");
+        assert_eq!(profiles[0].time(4), 2.5);
+        assert_eq!(t.profile("hist").unwrap().time(1), 4.0);
+        assert!(t.profile("missing").is_none());
     }
 }

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
 use crate::payload::{erase, unerase, BufferPool, Chunk, MsgBody, Payload};
+use crate::span::{Span, SpanKind, SpanLog};
 use crate::trace::{EventLog, HostStats, PlanStats};
 
 /// Shared state of one run of the machine.
@@ -19,6 +20,8 @@ pub(crate) struct World {
     pub mode: TimeMode,
     pub mailboxes: Vec<Mailbox>,
     pub recv_timeout: Duration,
+    /// Record duration spans (see [`crate::Span`]) during the run.
+    pub profile: bool,
 }
 
 /// Execution context of one physical processor (one per SPMD thread).
@@ -40,10 +43,22 @@ pub struct ProcCtx {
     host: HostStats,
     /// Recycled message-buffer storage for the chunk fast path.
     pool: BufferPool,
+    /// True when the machine profiles and time is simulated: duration
+    /// spans are recorded on the virtual clock.
+    profile: bool,
+    /// Virtual-time duration spans (empty unless profiling).
+    spans: SpanLog,
+    /// Byte offsets into `scope_path` marking each open scope's start.
+    scope_stack: Vec<usize>,
+    /// `/`-joined task-region/subgroup nesting path for span tagging.
+    scope_path: String,
+    /// Cached shared copy of `scope_path`; invalidated on push/pop.
+    scope_arc: Option<Arc<str>>,
 }
 
 impl ProcCtx {
     pub(crate) fn new(rank: usize, world: Arc<World>, start: Instant) -> Self {
+        let profile = world.profile && world.mode.is_simulated();
         ProcCtx {
             rank,
             world,
@@ -55,6 +70,11 @@ impl ProcCtx {
             plan_stats: PlanStats::default(),
             host: HostStats::default(),
             pool: BufferPool::default(),
+            profile,
+            spans: SpanLog::default(),
+            scope_stack: Vec::new(),
+            scope_path: String::new(),
+            scope_arc: None,
         }
     }
 
@@ -99,7 +119,9 @@ impl ProcCtx {
     #[inline]
     pub fn charge_flops(&mut self, n: f64) {
         if let TimeMode::Simulated(m) = self.world.mode {
+            let t0 = self.clock;
             self.clock += m.flops(n);
+            self.span_compute(t0);
         }
     }
 
@@ -107,7 +129,9 @@ impl ProcCtx {
     #[inline]
     pub fn charge_mem_bytes(&mut self, n: f64) {
         if let TimeMode::Simulated(m) = self.world.mode {
+            let t0 = self.clock;
             self.clock += m.mem_bytes(n);
+            self.span_compute(t0);
         }
     }
 
@@ -115,7 +139,19 @@ impl ProcCtx {
     #[inline]
     pub fn charge_seconds(&mut self, s: f64) {
         if self.world.mode.is_simulated() {
+            let t0 = self.clock;
             self.clock += s;
+            self.span_compute(t0);
+        }
+    }
+
+    /// Record `[t0, clock]` as a compute span when profiling.
+    #[inline]
+    fn span_compute(&mut self, t0: f64) {
+        if self.profile {
+            let path = self.current_path();
+            let end = self.clock;
+            self.spans.push_compute(t0, end, path);
         }
     }
 
@@ -141,7 +177,9 @@ impl ProcCtx {
         assert!(dst < self.world.nprocs, "send to nonexistent processor {dst}");
         let t0 = Instant::now();
         let (payload, nbytes) = erase(value);
+        let v0 = self.clock;
         let arrival = self.charge_send(nbytes);
+        self.span_send(v0, dst, tag, arrival);
         self.sent_msgs += 1;
         self.sent_bytes += nbytes as u64;
         self.world.mailboxes[dst].deposit(Envelope {
@@ -191,7 +229,9 @@ impl ProcCtx {
         assert!(dst < self.world.nprocs, "send to nonexistent processor {dst}");
         let t0 = Instant::now();
         let nbytes = chunk.nbytes();
+        let v0 = self.clock;
         let arrival = self.charge_send(nbytes);
+        self.span_send(v0, dst, tag, arrival);
         self.sent_msgs += 1;
         self.sent_bytes += nbytes as u64;
         self.host.chunk_msgs += 1;
@@ -250,10 +290,42 @@ impl ProcCtx {
             self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout);
         self.host.recv_wait_ns += t0.elapsed().as_nanos() as u64;
         if let TimeMode::Simulated(m) = self.world.mode {
-            let t = self.clock.max(env.arrival) + m.recv_busy(env.nbytes);
+            let ready = self.clock.max(env.arrival);
+            let t = ready + m.recv_busy(env.nbytes);
+            if self.profile {
+                // The wait `[clock, ready]` is left as a gap (idle); only
+                // the busy half `[ready, t]` becomes a span.
+                let path = self.current_path();
+                self.spans.push_msg(Span {
+                    start: ready,
+                    end: t,
+                    kind: SpanKind::Recv,
+                    path,
+                    peer: src as u32,
+                    tag,
+                    arrival: env.arrival,
+                });
+            }
             self.clock = t;
         }
         env
+    }
+
+    /// Record the busy half of a send as a span when profiling.
+    #[inline]
+    fn span_send(&mut self, v0: f64, dst: usize, tag: u64, arrival: f64) {
+        if self.profile {
+            let path = self.current_path();
+            self.spans.push_msg(Span {
+                start: v0,
+                end: self.clock,
+                kind: SpanKind::Send,
+                path,
+                peer: dst as u32,
+                tag,
+                arrival,
+            });
+        }
     }
 
     /// True if a message from `src` with `tag` is already deposited.
@@ -265,6 +337,60 @@ impl ProcCtx {
     pub fn record(&mut self, label: impl Into<String>) {
         let t = self.now();
         self.events.record(t, label);
+    }
+
+    // ----- span profiling --------------------------------------------------
+
+    /// True when duration spans are being recorded (the machine enabled
+    /// profiling and time is simulated). Callers use this to skip scope
+    /// bookkeeping entirely on unprofiled runs.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.profile
+    }
+
+    /// Push a component onto the span scope path (`"G1"`, `"assign2"`,
+    /// …). Subsequent spans are tagged `parent/…/name` until the matching
+    /// [`ProcCtx::pop_scope`]. No-op when not profiling.
+    pub fn push_scope(&mut self, name: &str) {
+        if !self.profile {
+            return;
+        }
+        self.scope_stack.push(self.scope_path.len());
+        if !self.scope_path.is_empty() {
+            self.scope_path.push('/');
+        }
+        self.scope_path.push_str(name);
+        self.scope_arc = None;
+    }
+
+    /// Pop the innermost span scope component. No-op when not profiling
+    /// (or when the scope stack is empty).
+    pub fn pop_scope(&mut self) {
+        if !self.profile {
+            return;
+        }
+        if let Some(len) = self.scope_stack.pop() {
+            self.scope_path.truncate(len);
+            self.scope_arc = None;
+        }
+    }
+
+    /// The spans recorded so far (empty unless profiling under simulated
+    /// time). The complete log lands in [`crate::RunReport::spans`].
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Shared copy of the current scope path (`None` at top level).
+    fn current_path(&mut self) -> Option<Arc<str>> {
+        if self.scope_path.is_empty() {
+            return None;
+        }
+        if self.scope_arc.is_none() {
+            self.scope_arc = Some(Arc::from(self.scope_path.as_str()));
+        }
+        self.scope_arc.clone()
     }
 
     /// Number of messages this processor has sent so far.
@@ -311,12 +437,12 @@ impl ProcCtx {
         h
     }
 
-    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64, PlanStats, HostStats) {
+    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64, PlanStats, HostStats, SpanLog) {
         let t = self.now();
         let mut host = self.host;
         host.pool_hits = self.pool.hits;
         host.pool_misses = self.pool.misses;
         host.plan = self.plan_stats;
-        (t, self.events, self.sent_msgs, self.sent_bytes, self.plan_stats, host)
+        (t, self.events, self.sent_msgs, self.sent_bytes, self.plan_stats, host, self.spans)
     }
 }

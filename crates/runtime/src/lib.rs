@@ -27,15 +27,19 @@
 //! subgroups, task regions and group collectives; `fx-darray` adds
 //! HPF-style distributed arrays.
 
+mod critical;
 mod ctx;
 mod mailbox;
 mod model;
 mod payload;
 mod run;
+mod span;
 mod trace;
 
+pub use critical::{critical_path, CriticalPathReport, PathKind, PathSegment, StageAttribution};
 pub use ctx::ProcCtx;
 pub use model::{MachineModel, TimeMode};
 pub use payload::{Chunk, Payload};
 pub use run::{run, Machine, RunReport};
-pub use trace::{chrome_trace_json, Event, EventLog, HostStats, PlanStats};
+pub use span::{Span, SpanAccounting, SpanKind, SpanLog};
+pub use trace::{chrome_trace_full_json, chrome_trace_json, Event, EventLog, HostStats, PlanStats};

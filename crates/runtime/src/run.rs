@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use crate::ctx::{ProcCtx, World};
 use crate::mailbox::Mailbox;
 use crate::model::{MachineModel, TimeMode};
+use crate::span::SpanLog;
 use crate::trace::{EventLog, HostStats, PlanStats};
 
 /// Configuration of one machine instance.
@@ -18,22 +19,39 @@ pub struct Machine {
     pub mode: TimeMode,
     /// Deadlock watchdog: a blocked receive panics after this long.
     pub recv_timeout: Duration,
+    /// Record duration spans (see [`crate::SpanLog`]). Host-side only:
+    /// enabling it never changes virtual times. Only effective under
+    /// simulated time.
+    pub profile: bool,
 }
 
 impl Machine {
     /// A machine with `nprocs` processors under deterministic virtual time.
     pub fn simulated(nprocs: usize, model: MachineModel) -> Self {
-        Machine { nprocs, mode: TimeMode::Simulated(model), recv_timeout: Duration::from_secs(60) }
+        Machine {
+            nprocs,
+            mode: TimeMode::Simulated(model),
+            recv_timeout: Duration::from_secs(60),
+            profile: false,
+        }
     }
 
     /// A machine with `nprocs` processors running in real (wall-clock) time.
     pub fn real(nprocs: usize) -> Self {
-        Machine { nprocs, mode: TimeMode::Real, recv_timeout: Duration::from_secs(60) }
+        Machine { nprocs, mode: TimeMode::Real, recv_timeout: Duration::from_secs(60), profile: false }
     }
 
     /// Override the deadlock watchdog timeout.
     pub fn with_timeout(mut self, t: Duration) -> Self {
         self.recv_timeout = t;
+        self
+    }
+
+    /// Enable or disable span profiling (off by default). Spans are
+    /// recorded only under simulated time; profiling is host-side
+    /// observability and never perturbs the virtual clock.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 }
@@ -56,6 +74,10 @@ pub struct RunReport<R> {
     /// buffer-pool hit rate, chunk traffic, bytes received per mailbox
     /// lane). Host observability only; never affects virtual time.
     pub host_stats: Vec<HostStats>,
+    /// Per-processor duration spans (empty unless the machine was built
+    /// with `with_profiling(true)` under simulated time). Feed these to
+    /// [`crate::critical_path`] or [`crate::chrome_trace_full_json`].
+    pub spans: Vec<SpanLog>,
     /// Messages deposited but never received (0 for a clean program).
     pub undelivered: usize,
 }
@@ -95,10 +117,24 @@ impl<R> RunReport<R> {
         (ev.len() - 1 - skip) as f64 / (last - first)
     }
 
-    /// Serialize all processors' event logs as Chrome-trace JSON (open in
-    /// `about:tracing` or Perfetto to see the pipeline overlap).
+    /// Serialize the run as Chrome-trace JSON (open in `about:tracing` or
+    /// Perfetto to see the pipeline overlap). When the run was profiled,
+    /// duration spans are included as complete (`"X"`) events alongside
+    /// the instant marks; otherwise only the instant marks are emitted.
     pub fn chrome_trace(&self) -> String {
-        crate::trace::chrome_trace_json(&self.events)
+        if self.spans.iter().any(|s| !s.is_empty()) {
+            crate::trace::chrome_trace_full_json(&self.events, &self.spans)
+        } else {
+            crate::trace::chrome_trace_json(&self.events)
+        }
+    }
+
+    /// Critical-path analysis of a profiled run: walks send→recv edges and
+    /// per-processor program order backwards from the last-finishing
+    /// processor and attributes the makespan to compute, communication and
+    /// idle per stage. Requires a run under `with_profiling(true)`.
+    pub fn critical_path(&self) -> crate::critical::CriticalPathReport {
+        crate::critical::critical_path(&self.spans, &self.times)
     }
 
     /// Mean time between events labelled `start` and the matching events
@@ -129,6 +165,7 @@ where
         mode: machine.mode,
         mailboxes: (0..machine.nprocs).map(|_| Mailbox::new(machine.nprocs)).collect(),
         recv_timeout: machine.recv_timeout,
+        profile: machine.profile,
     });
     let start = Instant::now();
 
@@ -143,8 +180,8 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes, plans, host) = cx.into_parts();
-                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host })
+                        let (time, events, msgs, bytes, plans, host, spans) = cx.into_parts();
+                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host, spans })
                     }
                     Err(payload) => {
                         // Unblock everyone else before reporting.
@@ -187,6 +224,7 @@ where
     let mut traffic = Vec::with_capacity(machine.nprocs);
     let mut plan_stats = Vec::with_capacity(machine.nprocs);
     let mut host_stats = Vec::with_capacity(machine.nprocs);
+    let mut spans = Vec::with_capacity(machine.nprocs);
     for (rank, out) in outcomes.into_iter().enumerate() {
         let out = out.expect("missing processor outcome despite no panic");
         results.push(out.value);
@@ -197,8 +235,9 @@ where
         let mut host = out.host;
         host.lane_bytes = world.mailboxes[rank].lane_bytes();
         host_stats.push(host);
+        spans.push(out.spans);
     }
-    RunReport { results, times, events, traffic, plan_stats, host_stats, undelivered }
+    RunReport { results, times, events, traffic, plan_stats, host_stats, spans, undelivered }
 }
 
 struct ProcOutcome<R> {
@@ -209,6 +248,7 @@ struct ProcOutcome<R> {
     bytes: u64,
     plans: PlanStats,
     host: HostStats,
+    spans: SpanLog,
 }
 
 #[cfg(test)]

@@ -1,0 +1,262 @@
+//! Duration spans on the virtual clock.
+//!
+//! Where `trace::Event` marks an *instant*, a [`Span`] records where an
+//! interval of virtual time went: local compute, the busy halves of sends
+//! and receives, with everything in between derivable as idle. Spans are
+//! tagged with the task-region/subgroup nesting path active when they were
+//! recorded (`"G1"`, `"G1/assign2"`, …), so per-stage time accounting and
+//! the critical-path analyzer (see [`crate::critical_path`]) fall straight
+//! out of one run.
+//!
+//! Spans are **host-side observability only**: recording them never moves
+//! the virtual clock, so enabling the profiler cannot change simulated
+//! results. They are recorded only under [`crate::TimeMode::Simulated`]
+//! and only when the machine was built with profiling enabled
+//! (`Machine::with_profiling(true)`) — the span log of an unprofiled run
+//! is empty.
+
+use std::sync::Arc;
+
+/// What a span's interval of virtual time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Local computation (`charge_flops`, `charge_mem_bytes`,
+    /// `charge_seconds`).
+    Compute,
+    /// Sender-side busy time of an outgoing message (`o_send` plus the
+    /// per-byte gap).
+    Send,
+    /// Receiver-side busy time of an incoming message (`o_recv`), after
+    /// any wait. The wait itself appears as a gap before the span and is
+    /// accounted as idle.
+    Recv,
+}
+
+/// One interval of virtual time on a processor's clock.
+///
+/// Spans of one processor are non-overlapping and non-decreasing in time;
+/// the gaps between them are idle time (blocked receives, barrier waits,
+/// `advance_to` jumps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Start of the interval (virtual seconds).
+    pub start: f64,
+    /// End of the interval (virtual seconds).
+    pub end: f64,
+    /// What the interval was spent on.
+    pub kind: SpanKind,
+    /// The task-region/subgroup nesting path active when the span was
+    /// recorded (`None` at top level). Components are joined with `/`.
+    pub path: Option<Arc<str>>,
+    /// Peer processor: destination for [`SpanKind::Send`], source for
+    /// [`SpanKind::Recv`]; `u32::MAX` for compute spans.
+    pub peer: u32,
+    /// Wire tag of the message for send/recv spans (0 for compute). Used
+    /// by the critical-path analyzer to match receives to their sends.
+    pub tag: u64,
+    /// Message arrival time at the destination: for sends, when the
+    /// payload becomes available to the receiver; for receives, when it
+    /// became available here. `0.0` for compute spans.
+    pub arrival: f64,
+}
+
+impl Span {
+    /// Duration of the span in virtual seconds.
+    #[inline]
+    pub fn dur(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Totals of one processor's virtual-time accounting over `[0, until]`.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SpanAccounting {
+    /// Total local compute seconds.
+    pub compute: f64,
+    /// Total sender-side communication seconds.
+    pub send: f64,
+    /// Total receiver-side communication seconds.
+    pub recv: f64,
+    /// Idle seconds: everything not covered by a span (blocked receives,
+    /// barrier waits, trailing time up to the accounting horizon).
+    pub idle: f64,
+}
+
+impl SpanAccounting {
+    /// Communication seconds (send + recv busy halves).
+    pub fn comm(&self) -> f64 {
+        self.send + self.recv
+    }
+
+    /// Sum of all four buckets; equals the accounting horizon by
+    /// construction.
+    pub fn total(&self) -> f64 {
+        self.compute + self.send + self.recv + self.idle
+    }
+}
+
+/// Per-processor span log.
+#[derive(Debug, Default, Clone)]
+pub struct SpanLog {
+    spans: Vec<Span>,
+}
+
+impl SpanLog {
+    /// All spans in program (= time) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// True when nothing was recorded (profiling off or real-time mode).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Append a compute span, merging into the previous span when it is
+    /// an adjacent compute span with the same path (keeps tight
+    /// charge-loops from growing the log unboundedly).
+    pub(crate) fn push_compute(&mut self, start: f64, end: f64, path: Option<Arc<str>>) {
+        if end <= start {
+            return;
+        }
+        if let Some(last) = self.spans.last_mut() {
+            if last.kind == SpanKind::Compute && last.end == start && paths_eq(&last.path, &path) {
+                last.end = end;
+                return;
+            }
+        }
+        self.spans.push(Span { start, end, kind: SpanKind::Compute, path, peer: u32::MAX, tag: 0, arrival: 0.0 });
+    }
+
+    /// Append a send or recv span (zero-width spans are kept: the
+    /// critical-path analyzer needs the message record even under a
+    /// zero-cost model).
+    pub(crate) fn push_msg(&mut self, span: Span) {
+        debug_assert!(span.kind != SpanKind::Compute);
+        self.spans.push(span);
+    }
+
+    /// Account the processor's virtual time over `[0, until]`: per-kind
+    /// span totals, with everything uncovered reported as idle. `until`
+    /// is typically the processor's own finish time (then the buckets sum
+    /// to exactly that) or the run makespan (then trailing wait is
+    /// included in idle).
+    pub fn accounting(&self, until: f64) -> SpanAccounting {
+        let mut acc = SpanAccounting::default();
+        for s in &self.spans {
+            let d = s.dur();
+            match s.kind {
+                SpanKind::Compute => acc.compute += d,
+                SpanKind::Send => acc.send += d,
+                SpanKind::Recv => acc.recv += d,
+            }
+        }
+        acc.idle = (until - acc.compute - acc.send - acc.recv).max(0.0);
+        acc
+    }
+
+    /// Busy time (compute + send + recv) of spans whose path has `label`
+    /// as its first component (e.g. every span recorded under the
+    /// `"cffts"` scope, however deeply nested below it).
+    pub fn busy_under(&self, label: &str) -> f64 {
+        self.spans.iter().filter(|s| path_starts_with(&s.path, label)).map(Span::dur).sum()
+    }
+
+    /// Elapsed window `(first_start, last_end)` of spans whose path has
+    /// `label` as its first component; `None` when no span matches. This
+    /// is the span-harvested analogue of a barrier-bracketed stopwatch
+    /// around one stage: it includes waits *inside* the stage (collective
+    /// latencies) but not the inter-stage synchronization around it.
+    pub fn window_under(&self, label: &str) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for s in &self.spans {
+            if path_starts_with(&s.path, label) {
+                out = Some(match out {
+                    None => (s.start, s.end),
+                    Some((a, b)) => (a.min(s.start), b.max(s.end)),
+                });
+            }
+        }
+        out
+    }
+}
+
+fn paths_eq(a: &Option<Arc<str>>, b: &Option<Arc<str>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => Arc::ptr_eq(x, y) || x == y,
+        _ => false,
+    }
+}
+
+/// True when `path`'s first `/`-separated component equals `label`.
+pub(crate) fn path_starts_with(path: &Option<Arc<str>>, label: &str) -> bool {
+    match path {
+        None => false,
+        Some(p) => {
+            let first = p.split('/').next().unwrap_or("");
+            first == label
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_spans_merge_when_adjacent() {
+        let mut log = SpanLog::default();
+        log.push_compute(0.0, 1.0, None);
+        log.push_compute(1.0, 2.0, None);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.spans()[0].end, 2.0);
+        // A gap breaks the merge.
+        log.push_compute(3.0, 4.0, None);
+        assert_eq!(log.len(), 2);
+        // A different path breaks the merge.
+        log.push_compute(4.0, 5.0, Some(Arc::from("g")));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn accounting_buckets_and_idle() {
+        let mut log = SpanLog::default();
+        log.push_compute(0.0, 2.0, None);
+        log.push_msg(Span { start: 2.0, end: 2.5, kind: SpanKind::Send, path: None, peer: 1, tag: 7, arrival: 2.6 });
+        // gap [2.5, 4.0] = idle
+        log.push_msg(Span { start: 4.0, end: 4.25, kind: SpanKind::Recv, path: None, peer: 1, tag: 8, arrival: 4.0 });
+        let acc = log.accounting(5.0);
+        assert_eq!(acc.compute, 2.0);
+        assert_eq!(acc.send, 0.5);
+        assert_eq!(acc.recv, 0.25);
+        assert!((acc.idle - 2.25).abs() < 1e-12);
+        assert!((acc.total() - 5.0).abs() < 1e-12);
+        assert!((acc.comm() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_queries_match_first_component() {
+        let mut log = SpanLog::default();
+        log.push_compute(0.0, 1.0, Some(Arc::from("G1")));
+        log.push_compute(2.0, 3.0, Some(Arc::from("G1/assign2")));
+        log.push_compute(3.0, 4.0, Some(Arc::from("G2")));
+        assert_eq!(log.busy_under("G1"), 2.0);
+        assert_eq!(log.window_under("G1"), Some((0.0, 3.0)));
+        assert_eq!(log.window_under("G2"), Some((3.0, 4.0)));
+        assert_eq!(log.window_under("G3"), None);
+        assert_eq!(log.busy_under("G"), 0.0, "prefix must match a whole component");
+    }
+
+    #[test]
+    fn zero_width_compute_spans_are_dropped() {
+        let mut log = SpanLog::default();
+        log.push_compute(1.0, 1.0, None);
+        assert!(log.is_empty());
+    }
+}

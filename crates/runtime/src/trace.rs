@@ -6,6 +6,8 @@
 //! (spacing between paired events) exactly the way the paper measures its
 //! stream-processing programs.
 
+use crate::span::{SpanKind, SpanLog};
+
 /// Per-processor communication-plan counters.
 ///
 /// Higher layers (fx-darray's cached interval plans) report cache hits,
@@ -99,43 +101,132 @@ impl EventLog {
     }
 }
 
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Seconds → microseconds for a Chrome-trace `ts`/`dur` field. A
+/// non-finite time would serialize as `NaN`/`inf` — invalid JSON that
+/// Perfetto rejects — so it is clamped to 0.
+fn trace_us(t: f64) -> String {
+    let t = if t.is_finite() { t } else { 0.0 };
+    format!("{:.3}", t * 1e6)
+}
+
+fn push_record(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(body);
+}
+
+/// `"M"` metadata records naming the process and one thread lane per
+/// processor, so Perfetto shows `proc 0`, `proc 1`, … instead of bare
+/// thread ids.
+fn push_lane_metadata(out: &mut String, first: &mut bool, nprocs: usize) {
+    if nprocs == 0 {
+        return;
+    }
+    push_record(
+        out,
+        first,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"fx simulated multicomputer\"}}",
+    );
+    for p in 0..nprocs {
+        push_record(
+            out,
+            first,
+            &format!("{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{p},\"args\":{{\"name\":\"proc {p}\"}}}}"),
+        );
+    }
+}
+
+fn push_instant_events(out: &mut String, first: &mut bool, logs: &[EventLog]) {
+    for (proc_id, log) in logs.iter().enumerate() {
+        for ev in log.events() {
+            push_record(
+                out,
+                first,
+                &format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
+                    escape(&ev.label),
+                    trace_us(ev.time),
+                    proc_id
+                ),
+            );
+        }
+    }
+}
+
 /// Serialize per-processor event logs as a Chrome-trace ("about:tracing"
-/// / Perfetto) JSON document: one instant event per recorded mark, one
-/// row per processor. Times are virtual microseconds.
+/// / Perfetto) JSON document: `"M"` metadata records naming the processor
+/// lanes, then one instant event per recorded mark, one row per
+/// processor. Times are virtual microseconds; non-finite times are
+/// clamped to 0 so the output is always valid JSON.
 ///
 /// Written by hand rather than with serde so labels are escaped without
 /// pulling a JSON dependency into the runtime.
 pub fn chrome_trace_json(logs: &[EventLog]) -> String {
-    fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
-    for (proc_id, log) in logs.iter().enumerate() {
-        for ev in log.events() {
-            if !first {
-                out.push(',');
+    push_lane_metadata(&mut out, &mut first, logs.len());
+    push_instant_events(&mut out, &mut first, logs);
+    out.push_str("]}");
+    out
+}
+
+/// Serialize a profiled run as Chrome-trace JSON: lane metadata, complete
+/// duration (`"X"`) events for every [`SpanLog`] span — named by their
+/// task-region scope path, categorized compute/send/recv — plus the
+/// instant marks from the event logs. Open in Perfetto to see named
+/// processor lanes with nested region scopes and the pipeline overlap.
+pub fn chrome_trace_full_json(logs: &[EventLog], spans: &[SpanLog]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    push_lane_metadata(&mut out, &mut first, logs.len().max(spans.len()));
+    for (proc_id, log) in spans.iter().enumerate() {
+        for s in log.spans() {
+            let (cat, fallback) = match s.kind {
+                SpanKind::Compute => ("compute", "compute"),
+                SpanKind::Send => ("comm", "send"),
+                SpanKind::Recv => ("comm", "recv"),
+            };
+            let name = match &s.path {
+                Some(p) => escape(p),
+                None => fallback.to_string(),
+            };
+            let mut args = String::new();
+            if s.kind != SpanKind::Compute {
+                args = format!(",\"args\":{{\"peer\":{},\"tag\":{}}}", s.peer, s.tag);
             }
-            first = false;
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
-                escape(&ev.label),
-                ev.time * 1e6,
-                proc_id
-            ));
+            push_record(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
+                    name,
+                    cat,
+                    trace_us(s.start),
+                    trace_us(s.dur()),
+                    proc_id,
+                    args
+                ),
+            );
         }
     }
+    push_instant_events(&mut out, &mut first, logs);
     out.push_str("]}");
     out
 }
@@ -165,6 +256,58 @@ mod tests {
     #[test]
     fn chrome_trace_empty_is_valid() {
         assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn chrome_trace_names_processor_lanes() {
+        let mut a = EventLog::default();
+        a.record(0.001, "x");
+        let json = chrome_trace_json(&[a, EventLog::default()]);
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"proc 0\""));
+        assert!(json.contains("\"name\":\"proc 1\""));
+    }
+
+    #[test]
+    fn chrome_trace_clamps_non_finite_times() {
+        // Regression: a NaN event time used to serialize as `"ts":NaN`,
+        // which is not JSON and makes Perfetto reject the whole trace.
+        let mut log = EventLog::default();
+        log.record(f64::NAN, "bad");
+        log.record(f64::INFINITY, "worse");
+        log.record(0.002, "good");
+        let json = chrome_trace_json(&[log]);
+        assert!(!json.contains("NaN"), "NaN leaked into JSON: {json}");
+        assert!(!json.contains("inf"), "inf leaked into JSON: {json}");
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"ts\":2000.000"));
+    }
+
+    #[test]
+    fn chrome_trace_full_emits_duration_events() {
+        use std::sync::Arc;
+        let mut log = EventLog::default();
+        log.record(0.001, "mark");
+        let mut sl = SpanLog::default();
+        sl.push_compute(0.0, 0.001, Some(Arc::from("G1/assign2")));
+        sl.push_msg(crate::span::Span {
+            start: 0.001,
+            end: 0.0015,
+            kind: SpanKind::Send,
+            path: None,
+            peer: 1,
+            tag: 7,
+            arrival: 0.002,
+        });
+        let json = chrome_trace_full_json(&[log], &[sl]);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"G1/assign2\""));
+        assert!(json.contains("\"cat\":\"compute\""));
+        assert!(json.contains("\"cat\":\"comm\""));
+        assert!(json.contains("\"args\":{\"peer\":1,\"tag\":7}"));
+        assert!(json.contains("\"ph\":\"i\""), "instant marks kept alongside spans");
+        assert!(json.contains("\"name\":\"proc 0\""));
     }
 
     #[test]

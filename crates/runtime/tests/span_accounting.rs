@@ -1,0 +1,108 @@
+//! Span accounting must close: on every processor, the recorded compute,
+//! send, and recv spans plus the derived idle account for every virtual
+//! second — up to the processor's own finish time and up to the run
+//! makespan — and profiling must never move the virtual clock.
+
+use fx_runtime::{run, Machine, MachineModel, SpanKind};
+
+fn profiled(p: usize, m: MachineModel) -> Machine {
+    Machine::simulated(p, m).with_profiling(true)
+}
+
+/// A messy workload: uneven compute, a ring exchange, a fan-in to rank 0,
+/// and a late straggler — exercises waits, skew, and trailing idle.
+fn workload(cx: &mut fx_runtime::ProcCtx) {
+    let p = cx.nprocs();
+    let me = cx.rank();
+    cx.charge_flops(50_000.0 * (me as f64 + 1.0));
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    cx.send(right, 1, vec![0u8; 256 * (me + 1)]);
+    let _: Vec<u8> = cx.recv(left, 1);
+    cx.charge_mem_bytes(1e6);
+    if me == 0 {
+        for src in 1..p {
+            let _: u64 = cx.recv(src, 2);
+        }
+    } else {
+        cx.send(0, 2, me as u64);
+        cx.charge_flops(10_000.0 * me as f64);
+    }
+}
+
+#[test]
+fn per_processor_accounting_sums_to_finish_time() {
+    for m in [MachineModel::paragon(), MachineModel::fast_network(), MachineModel::zero_comm(1e-6)]
+    {
+        let rep = run(&profiled(6, m), workload);
+        for (p, log) in rep.spans.iter().enumerate() {
+            let finish = rep.times[p];
+            let acc = log.accounting(finish);
+            assert!(
+                (acc.total() - finish).abs() <= 1e-9 * finish.max(1.0),
+                "proc {p}: compute {} + send {} + recv {} + idle {} != finish {finish}",
+                acc.compute,
+                acc.send,
+                acc.recv,
+                acc.idle
+            );
+            // Idle is a derived gap, never negative.
+            assert!(acc.idle >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn accounting_to_makespan_adds_trailing_idle_only() {
+    let rep = run(&profiled(4, MachineModel::paragon()), workload);
+    let makespan = rep.makespan();
+    for (p, log) in rep.spans.iter().enumerate() {
+        let at_finish = log.accounting(rep.times[p]);
+        let at_makespan = log.accounting(makespan);
+        assert_eq!(at_finish.compute, at_makespan.compute);
+        assert_eq!(at_finish.send, at_makespan.send);
+        assert_eq!(at_finish.recv, at_makespan.recv);
+        let extra = at_makespan.idle - at_finish.idle;
+        let wait = makespan - rep.times[p];
+        assert!((extra - wait).abs() <= 1e-12, "proc {p}: trailing idle {extra} vs {wait}");
+        assert!((at_makespan.total() - makespan).abs() <= 1e-9 * makespan.max(1.0));
+    }
+}
+
+#[test]
+fn spans_are_ordered_and_non_overlapping() {
+    let rep = run(&profiled(5, MachineModel::paragon()), workload);
+    for log in &rep.spans {
+        let mut cursor = 0.0;
+        for s in log.spans() {
+            assert!(s.start >= cursor - 1e-15, "span starts before previous end");
+            assert!(s.end >= s.start);
+            if s.kind == SpanKind::Compute {
+                assert_eq!(s.peer, u32::MAX);
+            }
+            cursor = s.end;
+        }
+    }
+}
+
+#[test]
+fn profiling_does_not_perturb_virtual_time() {
+    let m = MachineModel::paragon();
+    let plain = run(&Machine::simulated(6, m), workload);
+    let profiled = run(&profiled(6, m), workload);
+    assert_eq!(plain.times, profiled.times, "profiling moved the virtual clock");
+    assert!(plain.spans.iter().all(|l| l.is_empty()), "unprofiled run recorded spans");
+    assert!(profiled.spans.iter().all(|l| !l.is_empty()));
+}
+
+#[test]
+fn real_mode_records_no_spans_even_when_asked() {
+    let rep = run(&Machine::real(2).with_profiling(true), |cx| {
+        if cx.rank() == 0 {
+            cx.send(1, 1, 7u8);
+        } else {
+            let _: u8 = cx.recv(0, 1);
+        }
+    });
+    assert!(rep.spans.iter().all(|l| l.is_empty()));
+}

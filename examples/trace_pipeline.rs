@@ -1,7 +1,13 @@
 //! Export a Chrome trace of the FFT-Hist pipeline so the stage overlap is
 //! visible: open the written JSON in `about:tracing` (Chrome) or
-//! https://ui.perfetto.dev — one row per simulated processor, one instant
-//! per stage event, on the *virtual* clock.
+//! https://ui.perfetto.dev — one named lane per simulated processor,
+//! nested duration blocks for every compute charge and message busy-half
+//! (tagged with their task-region scope: G1/G2/G3, assign2, barrier), and
+//! the original instant marks, all on the *virtual* clock.
+//!
+//! The machine runs with span profiling enabled; profiling is host-side
+//! observability only, so the virtual times in the trace are identical to
+//! an unprofiled run's.
 //!
 //! Run with: `cargo run --release --example trace_pipeline`
 
@@ -10,7 +16,7 @@ use fx::prelude::*;
 
 fn main() {
     let cfg = FftHistConfig::new(64, 8);
-    let machine = Machine::simulated(6, MachineModel::paragon());
+    let machine = Machine::simulated(6, MachineModel::paragon()).with_profiling(true);
     let report = spmd(&machine, |cx| {
         // Record stage-grain events on every subgroup leader.
         let sets: Vec<usize> = (0..cfg.datasets).collect();
@@ -24,7 +30,19 @@ fn main() {
     std::fs::write(path, &json).expect("write trace");
 
     let events: usize = report.events.iter().map(|l| l.len()).sum();
-    println!("wrote {events} events for 6 processors to {path}");
+    let spans: usize = report.spans.iter().map(|l| l.len()).sum();
+    println!("wrote {spans} duration spans + {events} instant events for 6 processors to {path}");
     println!("virtual makespan: {:.4} s", report.makespan());
+
+    // The spans also carry the critical path: print the coarse split.
+    let cp = report.critical_path();
+    let (compute, comm, idle) = cp.totals();
+    println!(
+        "critical path: {:.1}% compute, {:.1}% comm, {:.1}% idle over {} message hops",
+        100.0 * compute / cp.makespan,
+        100.0 * comm / cp.makespan,
+        100.0 * idle / cp.makespan,
+        cp.hops()
+    );
     println!("open the file in chrome://tracing or ui.perfetto.dev to see the overlap");
 }

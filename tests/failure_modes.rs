@@ -68,6 +68,64 @@ fn peer_panic_unblocks_waiters() {
     assert!(msg.contains("injected failure"), "got: {msg}");
 }
 
+/// A panic raised *inside* an `ON SUBGROUP` block propagates with its
+/// original message — not a poison-induced secondary one — and peers
+/// blocked on cross-subgroup communication at region exit are unwedged.
+#[test]
+fn panic_inside_on_subgroup_propagates_original_message() {
+    let machine = Machine::real(4).with_timeout(Duration::from_secs(30));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            let part = cx.task_partition(&[("boom", Size::Procs(2)), ("wait", Size::Rest)]);
+            cx.task_region(&part, |cx, tr| {
+                tr.on(cx, "boom", |cx| {
+                    if cx.id() == 1 {
+                        panic!("injected failure inside ON SUBGROUP");
+                    }
+                    // The non-panicking member blocks on its subgroup
+                    // sibling and must be unwedged by the poison.
+                    cx.barrier();
+                });
+                tr.on(cx, "wait", |cx| {
+                    // The other subgroup wedges at its own collective.
+                    cx.barrier();
+                });
+            });
+            // Region exit: a parent-scope collective no member reaches.
+            cx.barrier();
+        })
+    }))
+    .expect_err("ON SUBGROUP panic must fail the whole run");
+    let msg = panic_message(err);
+    assert!(msg.contains("injected failure inside ON SUBGROUP"), "got: {msg}");
+}
+
+/// Same, for a panic in a dynamically nested region (a subgroup that
+/// re-partitioned itself): the original message still wins over the
+/// secondary poison panics of both nesting levels.
+#[test]
+fn panic_in_nested_region_keeps_original_message() {
+    let machine = Machine::real(4).with_timeout(Duration::from_secs(30));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            let outer = cx.task_partition(&[("top", Size::Procs(2)), ("bottom", Size::Rest)]);
+            cx.task_region(&outer, |cx, tr| {
+                tr.on(cx, "top", |cx| {
+                    let inner = cx.task_partition(&[("t0", Size::Procs(1)), ("t1", Size::Rest)]);
+                    cx.task_region(&inner, |cx, tr2| {
+                        tr2.on(cx, "t0", |_| panic!("nested region failure"));
+                        tr2.on(cx, "t1", |cx| cx.barrier());
+                    });
+                });
+                tr.on(cx, "bottom", |cx| cx.barrier());
+            });
+        })
+    }))
+    .expect_err("nested region panic must fail the whole run");
+    let msg = panic_message(err);
+    assert!(msg.contains("nested region failure"), "got: {msg}");
+}
+
 /// Group/partition misuse is caught at the API boundary.
 #[test]
 fn partition_misuse_panics() {

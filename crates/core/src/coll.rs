@@ -28,6 +28,7 @@ impl Cx<'_> {
         // Scoped so the profiler attributes the barrier's send/recv busy
         // halves (and the idle gaps around them) to "barrier" rather than
         // to the surrounding stage.
+        self.runtime().note_barrier();
         self.runtime().push_scope("barrier");
         // The reduce's Option result (Some on the root, None elsewhere) is
         // exactly the broadcast leg's input — no placeholder value needed.

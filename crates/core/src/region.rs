@@ -35,6 +35,7 @@ impl<'p> TaskRegion<'p> {
     pub fn on<R>(&self, cx: &mut Cx, name: &str, f: impl FnOnce(&mut Cx) -> R) -> Option<R> {
         let idx = self.part.index_of(name);
         if self.part.my_subgroup() != idx {
+            cx.runtime().note_region_skip();
             return None; // skip past the ON block — the heart of the model
         }
         let handle = self.part.subgroups()[idx].handle().clone();

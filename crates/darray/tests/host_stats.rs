@@ -3,8 +3,11 @@
 //! make zero transport allocations — every chunk acquire is a pool hit
 //! once the pools have warmed up.
 
+use std::sync::Arc;
+
 use fx_core::{spmd, Machine};
 use fx_darray::{assign1, DArray1, Dist1};
+use fx_runtime::Telemetry;
 
 /// Run a symmetric block→cyclic→block round trip for `iters` iterations
 /// and return each processor's (pool_hits, pool_misses).
@@ -42,6 +45,43 @@ fn steady_state_redistribution_makes_zero_transport_allocations() {
         // The extra iterations are served entirely from the pool.
         assert!(l.0 > s.0, "proc {p}: longer run must add pool hits");
     }
+}
+
+/// The telemetry registry and `HostStats` observe the same plan-driven
+/// redistribution: chunk counts, pool counters, and plan-cache counters
+/// must reconcile exactly after the run.
+#[test]
+fn telemetry_registry_reconciles_over_plan_driven_redistribution() {
+    let telemetry = Arc::new(Telemetry::new());
+    let machine = Machine::real(4).with_telemetry(Arc::clone(&telemetry));
+    let rep = spmd(&machine, |cx| {
+        let g = cx.group();
+        let data: Vec<u64> = (0..128).collect();
+        let src = DArray1::from_global(cx, &g, Dist1::Block, &data);
+        let mut cyc = DArray1::new(cx, &g, 128, Dist1::Cyclic, 0u64);
+        let mut back = DArray1::new(cx, &g, 128, Dist1::Block, 0u64);
+        for _ in 0..5 {
+            assign1(cx, &mut cyc, &src);
+            assign1(cx, &mut back, &cyc);
+        }
+        back.to_global(cx)
+    });
+
+    let total = rep.telemetry.as_ref().expect("snapshot present").total();
+    let host = rep.host_stats_total();
+    let plan = rep.plan_stats_total();
+
+    assert_eq!(total.chunk_msgs, host.chunk_msgs);
+    assert_eq!(total.chunk_bytes, host.chunk_bytes);
+    assert_eq!(total.pool_hits, host.pool_hits);
+    assert_eq!(total.pool_misses, host.pool_misses);
+    assert_eq!(total.plan_hits, plan.plan_hits);
+    assert_eq!(total.plan_misses, plan.plan_misses);
+    assert_eq!(total.pack_ns, plan.pack_ns);
+    assert_eq!(total.send_ns, host.send_ns);
+    assert_eq!(total.recv_wait_ns, host.recv_wait_ns);
+    // The repeated redistribution actually hit the plan cache.
+    assert!(total.plan_hits > 0, "expected warm plan-cache hits");
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! processor's identity, its (virtual) clock, its event log, and the
 //! endpoints for direct-deposit messaging.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -12,6 +13,7 @@ use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
 use crate::payload::{erase, unerase, BufferPool, Chunk, MsgBody, Payload};
 use crate::span::{Span, SpanKind, SpanLog};
+use crate::telemetry::{ProcShard, Telemetry};
 use crate::trace::{EventLog, HostStats, PlanStats};
 
 /// Shared state of one run of the machine.
@@ -22,6 +24,9 @@ pub(crate) struct World {
     pub recv_timeout: Duration,
     /// Record duration spans (see [`crate::Span`]) during the run.
     pub profile: bool,
+    /// Live telemetry registry (see [`crate::Telemetry`]); `None` keeps
+    /// every hot path on the seed code shape.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Execution context of one physical processor (one per SPMD thread).
@@ -54,11 +59,21 @@ pub struct ProcCtx {
     scope_path: String,
     /// Cached shared copy of `scope_path`; invalidated on push/pop.
     scope_arc: Option<Arc<str>>,
+    /// This processor's telemetry shard (`None` when telemetry is off —
+    /// the zero-cost check on every instrumented path).
+    tl: Option<Arc<ProcShard>>,
+    /// Local cache of interned scope-path label ids, so only the first
+    /// entry into a given region path touches the global intern table.
+    scope_ids: HashMap<String, u32>,
+    /// Interned label id of each open scope, parallel to `scope_stack`
+    /// (maintained only when telemetry is on).
+    scope_id_stack: Vec<u32>,
 }
 
 impl ProcCtx {
     pub(crate) fn new(rank: usize, world: Arc<World>, start: Instant) -> Self {
         let profile = world.profile && world.mode.is_simulated();
+        let tl = world.telemetry.as_ref().map(|t| t.shard(rank));
         ProcCtx {
             rank,
             world,
@@ -75,6 +90,19 @@ impl ProcCtx {
             scope_stack: Vec::new(),
             scope_path: String::new(),
             scope_arc: None,
+            tl,
+            scope_ids: HashMap::new(),
+            scope_id_stack: Vec::new(),
+        }
+    }
+
+    /// Virtual time as stored bits for flight-recorder timestamps (0.0 in
+    /// real-time mode, where only the wall clock is meaningful).
+    #[inline]
+    fn vbits(&self) -> u64 {
+        match self.world.mode {
+            TimeMode::Real => 0,
+            TimeMode::Simulated(_) => self.clock.to_bits(),
         }
     }
 
@@ -182,14 +210,25 @@ impl ProcCtx {
         self.span_send(v0, dst, tag, arrival);
         self.sent_msgs += 1;
         self.sent_bytes += nbytes as u64;
-        self.world.mailboxes[dst].deposit(Envelope {
+        let contended = self.world.mailboxes[dst].deposit(Envelope {
             src: self.rank,
             tag,
             arrival,
             nbytes,
+            enqueued: t0,
             payload: MsgBody::Boxed(payload),
         });
-        self.host.send_ns += t0.elapsed().as_nanos() as u64;
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.host.send_ns += ns;
+        if let Some(sh) = &self.tl {
+            // Same `ns` as HostStats, so the two reconcile exactly; the
+            // wall timestamp reuses `t0` (no extra clock syscall).
+            let wall = t0.duration_since(self.start).as_nanos() as u64;
+            sh.on_send(nbytes as u64, false, ns, wall, self.vbits(), dst, tag);
+            if contended {
+                sh.on_lane_contention();
+            }
+        }
     }
 
     /// Receive a `T` from physical processor `src` on channel `tag`,
@@ -210,6 +249,12 @@ impl ProcCtx {
     /// processor's buffer pool (no allocation once the pool is warm).
     pub fn chunk_for<T: Copy + Send + 'static>(&mut self, elems: usize) -> Chunk {
         let bytes = self.pool.acquire(elems * std::mem::size_of::<T>());
+        if let Some(sh) = &self.tl {
+            // Absolute stores (this thread is the only writer), mirroring
+            // the pool's own counters so HostStats and the registry agree.
+            sh.pool_hits.store(self.pool.hits, std::sync::atomic::Ordering::Relaxed);
+            sh.pool_misses.store(self.pool.misses, std::sync::atomic::Ordering::Relaxed);
+        }
         Chunk::from_bytes::<T>(bytes)
     }
 
@@ -236,14 +281,23 @@ impl ProcCtx {
         self.sent_bytes += nbytes as u64;
         self.host.chunk_msgs += 1;
         self.host.chunk_bytes += nbytes as u64;
-        self.world.mailboxes[dst].deposit(Envelope {
+        let contended = self.world.mailboxes[dst].deposit(Envelope {
             src: self.rank,
             tag,
             arrival,
             nbytes,
+            enqueued: t0,
             payload: MsgBody::Chunk(chunk),
         });
-        self.host.send_ns += t0.elapsed().as_nanos() as u64;
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.host.send_ns += ns;
+        if let Some(sh) = &self.tl {
+            let wall = t0.duration_since(self.start).as_nanos() as u64;
+            sh.on_send(nbytes as u64, true, ns, wall, self.vbits(), dst, tag);
+            if contended {
+                sh.on_lane_contention();
+            }
+        }
     }
 
     /// Receive a [`Chunk`] from processor `src` on channel `tag`. After
@@ -252,7 +306,12 @@ impl ProcCtx {
     pub fn recv_chunk(&mut self, src: usize, tag: u64) -> Chunk {
         let env = self.take_env(src, tag);
         match env.payload {
-            MsgBody::Chunk(c) => c,
+            MsgBody::Chunk(c) => {
+                if let Some(sh) = &self.tl {
+                    sh.on_recv_chunk_bytes(env.nbytes as u64);
+                }
+                c
+            }
             MsgBody::Boxed(_) => panic!(
                 "recv type mismatch for message from processor {src} tag {tag:#x}: \
                  expected a byte chunk, got a boxed payload (receive it with recv)"
@@ -286,9 +345,21 @@ impl ProcCtx {
     fn take_env(&mut self, src: usize, tag: u64) -> Envelope {
         assert!(src < self.world.nprocs, "recv from nonexistent processor {src}");
         let t0 = Instant::now();
+        if let Some(sh) = &self.tl {
+            // Published before blocking so the stall sampler can name the
+            // (src, tag) this processor is parked on; cleared by on_recv.
+            // Left set on a watchdog panic, which is exactly what the
+            // post-mortem flight dump wants to show.
+            sh.begin_wait(src, tag);
+        }
         let env =
             self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout);
-        self.host.recv_wait_ns += t0.elapsed().as_nanos() as u64;
+        let waited = t0.elapsed().as_nanos() as u64;
+        self.host.recv_wait_ns += waited;
+        if let Some(sh) = &self.tl {
+            let wall = t0.duration_since(self.start).as_nanos() as u64 + waited;
+            sh.on_recv(env.nbytes as u64, waited, wall, self.vbits(), src, tag);
+        }
         if let TimeMode::Simulated(m) = self.world.mode {
             let ready = self.clock.max(env.arrival);
             let t = ready + m.recv_busy(env.nbytes);
@@ -351,9 +422,10 @@ impl ProcCtx {
 
     /// Push a component onto the span scope path (`"G1"`, `"assign2"`,
     /// …). Subsequent spans are tagged `parent/…/name` until the matching
-    /// [`ProcCtx::pop_scope`]. No-op when not profiling.
+    /// [`ProcCtx::pop_scope`]. No-op when neither profiling nor telemetry
+    /// is active.
     pub fn push_scope(&mut self, name: &str) {
-        if !self.profile {
+        if !self.profile && self.tl.is_none() {
             return;
         }
         self.scope_stack.push(self.scope_path.len());
@@ -362,17 +434,50 @@ impl ProcCtx {
         }
         self.scope_path.push_str(name);
         self.scope_arc = None;
+        if self.tl.is_some() {
+            self.telemetry_scope_enter();
+        }
     }
 
-    /// Pop the innermost span scope component. No-op when not profiling
-    /// (or when the scope stack is empty).
+    /// Pop the innermost span scope component. No-op when neither
+    /// profiling nor telemetry is active (or when the scope stack is
+    /// empty).
     pub fn pop_scope(&mut self) {
-        if !self.profile {
+        if !self.profile && self.tl.is_none() {
             return;
         }
         if let Some(len) = self.scope_stack.pop() {
+            if let (Some(sh), Some(id)) = (&self.tl, self.scope_id_stack.pop()) {
+                let wall = self.start.elapsed().as_nanos() as u64;
+                let vbits = match self.world.mode {
+                    TimeMode::Real => 0,
+                    TimeMode::Simulated(_) => self.clock.to_bits(),
+                };
+                sh.on_region_exit(id, wall, vbits);
+            }
             self.scope_path.truncate(len);
             self.scope_arc = None;
+        }
+    }
+
+    /// Telemetry bookkeeping for a just-pushed scope: intern the full path
+    /// (through the per-processor id cache), count the entry under its
+    /// subgroup path, and drop an enter event into the flight ring.
+    fn telemetry_scope_enter(&mut self) {
+        let id = match self.scope_ids.get(&self.scope_path) {
+            Some(&id) => id,
+            None => {
+                let t = self.world.telemetry.as_ref().expect("tl implies telemetry");
+                let id = t.intern(&self.scope_path);
+                self.scope_ids.insert(self.scope_path.clone(), id);
+                id
+            }
+        };
+        self.scope_id_stack.push(id);
+        let wall = self.start.elapsed().as_nanos() as u64;
+        let vbits = self.vbits();
+        if let Some(sh) = &self.tl {
+            sh.on_region_enter(id, wall, vbits);
         }
     }
 
@@ -407,18 +512,50 @@ impl ProcCtx {
     #[inline]
     pub fn note_plan_hit(&mut self) {
         self.plan_stats.plan_hits += 1;
+        if let Some(sh) = &self.tl {
+            sh.plan_hits.store(self.plan_stats.plan_hits, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Count one communication-plan cache miss (plan built).
     #[inline]
     pub fn note_plan_miss(&mut self) {
         self.plan_stats.plan_misses += 1;
+        if let Some(sh) = &self.tl {
+            sh.plan_misses.store(self.plan_stats.plan_misses, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Accumulate host nanoseconds spent packing/unpacking along plan runs.
     #[inline]
     pub fn add_pack_ns(&mut self, ns: u64) {
         self.plan_stats.pack_ns += ns;
+        if let Some(sh) = &self.tl {
+            sh.pack_ns.store(self.plan_stats.pack_ns, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Count one group-barrier entry (telemetry only; called by the
+    /// collectives layer). No-op when telemetry is off.
+    #[inline]
+    pub fn note_barrier(&mut self) {
+        if let Some(sh) = &self.tl {
+            let wall = self.start.elapsed().as_nanos() as u64;
+            let vbits = match self.world.mode {
+                TimeMode::Real => 0,
+                TimeMode::Simulated(_) => self.clock.to_bits(),
+            };
+            sh.on_barrier(wall, vbits);
+        }
+    }
+
+    /// Count one skipped task region (this processor was not a member of
+    /// the region's subgroup). No-op when telemetry is off.
+    #[inline]
+    pub fn note_region_skip(&mut self) {
+        if let Some(sh) = &self.tl {
+            sh.note_region_skip();
+        }
     }
 
     /// This processor's plan counters so far.

@@ -1,0 +1,147 @@
+//! Optional std-only HTTP scrape endpoint for [`crate::Telemetry`]
+//! (feature `telemetry-http`).
+//!
+//! A [`TelemetryServer`] owns one background accept thread serving three
+//! routes from a plain `TcpListener`:
+//!
+//! * `GET /metrics` — OpenMetrics text ([`crate::Telemetry::render_openmetrics`])
+//! * `GET /metrics.json` — JSON snapshot ([`crate::Telemetry::render_json`])
+//! * `GET /flight` — human-readable flight-recorder dump
+//!
+//! No HTTP library, no TLS, no keep-alive: one request per connection,
+//! just enough protocol for `curl` and a Prometheus scraper. Dropping the
+//! server stops the thread.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::telemetry::Telemetry;
+
+/// A running scrape endpoint; stops serving when dropped.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9925"`, or port 0 for an ephemeral
+    /// port) and serve `telemetry` until the returned server is dropped.
+    pub fn serve(telemetry: Arc<Telemetry>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fx-telemetry-http".into())
+            .spawn(move || accept_loop(listener, telemetry, stop2))?;
+        Ok(TelemetryServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Poke the listener so the blocking accept() observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, telemetry: Arc<Telemetry>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = serve_one(&mut stream, &telemetry);
+    }
+}
+
+fn serve_one(stream: &mut TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    // Read just enough for the request line; ignore headers and body.
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request.split_whitespace().nth(1).unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            telemetry.render_openmetrics(),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", telemetry.render_json()),
+        "/flight" => ("200 OK", "text/plain; charset=utf-8", telemetry.flight_dump()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "routes: /metrics /metrics.json /flight\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_openmetrics_json_and_flight() {
+        let telemetry = Arc::new(Telemetry::new());
+        let machine = crate::Machine::real(2).with_telemetry(Arc::clone(&telemetry));
+        crate::run(&machine, |cx| {
+            if cx.rank() == 0 {
+                cx.send(1, 1, vec![1u8; 64]);
+            } else {
+                let _: Vec<u8> = cx.recv(0, 1);
+            }
+        });
+
+        let server = TelemetryServer::serve(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let om = get(addr, "/metrics");
+        assert!(om.starts_with("HTTP/1.1 200 OK"), "{om}");
+        assert!(om.contains("application/openmetrics-text"));
+        assert!(om.contains("fx_sends_total{proc=\"0\"} 1"));
+        assert!(om.trim_end().ends_with("# EOF"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("\"sends\":1"), "{json}");
+
+        let flight = get(addr, "/flight");
+        assert!(flight.contains("processor 0"), "{flight}");
+        assert!(flight.contains("send"), "{flight}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        drop(server);
+        // The port is released; a fresh bind to the same address works.
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok(), "server thread should have released the socket");
+    }
+}

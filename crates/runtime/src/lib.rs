@@ -29,17 +29,27 @@
 
 mod critical;
 mod ctx;
+mod flight;
+#[cfg(feature = "telemetry-http")]
+mod http;
 mod mailbox;
 mod model;
 mod payload;
 mod run;
 mod span;
+mod stall;
+mod telemetry;
 mod trace;
 
 pub use critical::{critical_path, CriticalPathReport, PathKind, PathSegment, StageAttribution};
 pub use ctx::ProcCtx;
+pub use flight::{FlightEvent, FlightKind};
+#[cfg(feature = "telemetry-http")]
+pub use http::TelemetryServer;
 pub use model::{MachineModel, TimeMode};
 pub use payload::{Chunk, Payload};
 pub use run::{run, Machine, RunReport};
 pub use span::{Span, SpanAccounting, SpanKind, SpanLog};
+pub use stall::{StallReport, StalledProc};
+pub use telemetry::{ProcTotals, Telemetry, TelemetryConfig, TelemetrySnapshot};
 pub use trace::{chrome_trace_full_json, chrome_trace_json, Event, EventLog, HostStats, PlanStats};

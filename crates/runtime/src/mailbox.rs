@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -34,13 +34,43 @@ pub(crate) struct Envelope {
     pub arrival: f64,
     /// Wire size used for receiver-side cost accounting.
     pub nbytes: usize,
+    /// Wall-clock deposit time, so diagnostics can report how long the
+    /// message has been waiting unreceived.
+    pub enqueued: Instant,
     /// The message body (type-erased box or pooled byte chunk).
     pub payload: MsgBody,
 }
 
-/// Queue depths of one mailbox at a point in time: `(src, tag, count)`
-/// for every non-empty `(src, tag)` channel, ascending by source then tag.
-pub(crate) type DepthSnapshot = Vec<(usize, u64, usize)>;
+/// One non-empty `(src, tag)` channel of a mailbox at a point in time:
+/// its depth and how long its oldest (front, FIFO) message has been
+/// queued unreceived. The oldest-wait distinguishes "this channel is
+/// being drained normally" from "these messages arrived long ago and
+/// nobody is receiving them" at a glance in deadlock dumps.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LaneDepth {
+    /// Sender rank of the channel.
+    pub src: usize,
+    /// Channel tag.
+    pub tag: u64,
+    /// Messages queued.
+    pub count: usize,
+    /// Age of the oldest queued message.
+    pub oldest_wait: Duration,
+}
+
+impl std::fmt::Debug for LaneDepth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "(src={}, tag={:#x}, n={}, oldest={:.1?})",
+            self.src, self.tag, self.count, self.oldest_wait
+        )
+    }
+}
+
+/// Queue depths of one mailbox at a point in time, one entry per
+/// non-empty `(src, tag)` channel, ascending by source then tag.
+pub(crate) type DepthSnapshot = Vec<LaneDepth>;
 
 #[derive(Default)]
 struct LaneState {
@@ -84,13 +114,23 @@ impl Mailbox {
     /// avoids a thundering herd when many senders deposit back-to-back.
     /// `poison`, by contrast, notifies every lane — it is the one event
     /// that must reach the waiter no matter which lane it blocks on.
-    pub fn deposit(&self, env: Envelope) {
+    ///
+    /// Returns whether the lane lock was already held when the deposit
+    /// arrived (the receiver draining, or a same-source deposit racing
+    /// through another group context). The cost is identical either way —
+    /// `try_lock` succeeding *is* the uncontended lock fast path — so the
+    /// telemetry lane-contention counter is free when nobody reads it.
+    pub fn deposit(&self, env: Envelope) -> bool {
         let lane = &self.lanes[env.src];
-        let mut st = lane.state.lock();
+        let (mut st, contended) = match lane.state.try_lock() {
+            Some(st) => (st, false),
+            None => (lane.state.lock(), true),
+        };
         st.bytes += env.nbytes as u64;
         st.queues.entry(env.tag).or_default().push_back(env);
         drop(st);
         lane.cvar.notify_one();
+        contended
     }
 
     /// Block until a message from `src` with `tag` is available and take it.
@@ -116,7 +156,8 @@ impl Mailbox {
                 let pending = self.depth_snapshot();
                 panic!(
                     "processor {me}: recv(src={src}, tag={tag:#x}) timed out after \
-                     {timeout:?} — likely deadlock. Pending per (src, tag, count): {pending:?}"
+                     {timeout:?} — likely deadlock. Pending per (src, tag) with depth \
+                     and oldest-message age: {pending:?}"
                 );
             }
         }
@@ -152,19 +193,27 @@ impl Mailbox {
     }
 
     /// Depths of every non-empty `(src, tag)` queue, ascending by source
-    /// then tag — the deadlock diagnostic and debugging view.
+    /// then tag, each with the age of its oldest queued message — the
+    /// deadlock diagnostic and debugging view.
     pub fn depth_snapshot(&self) -> DepthSnapshot {
         let mut out: DepthSnapshot = Vec::new();
         for (src, lane) in self.lanes.iter().enumerate() {
             let st = lane.state.lock();
-            let mut tags: Vec<(u64, usize)> = st
+            let mut tags: Vec<(u64, usize, Duration)> = st
                 .queues
                 .iter()
                 .filter(|(_, q)| !q.is_empty())
-                .map(|(&t, q)| (t, q.len()))
+                .map(|(&t, q)| {
+                    // FIFO per channel: the front message is the oldest.
+                    let oldest = q.front().map(|e| e.enqueued.elapsed()).unwrap_or_default();
+                    (t, q.len(), oldest)
+                })
                 .collect();
-            tags.sort_unstable();
-            out.extend(tags.into_iter().map(|(t, c)| (src, t, c)));
+            tags.sort_unstable_by_key(|&(t, ..)| t);
+            out.extend(
+                tags.into_iter()
+                    .map(|(tag, count, oldest_wait)| LaneDepth { src, tag, count, oldest_wait }),
+            );
         }
         out
     }
@@ -182,7 +231,14 @@ mod tests {
 
     fn env(src: usize, tag: u64, v: u32) -> Envelope {
         let (payload, nbytes) = erase(v);
-        Envelope { src, tag, arrival: 0.0, nbytes, payload: MsgBody::Boxed(payload) }
+        Envelope {
+            src,
+            tag,
+            arrival: 0.0,
+            nbytes,
+            enqueued: Instant::now(),
+            payload: MsgBody::Boxed(payload),
+        }
     }
 
     fn take_u32(mb: &Mailbox, src: usize, tag: u64) -> u32 {
@@ -222,9 +278,10 @@ mod tests {
     }
 
     #[test]
-    fn timeout_diagnostic_reports_lane_depths() {
+    fn timeout_diagnostic_reports_lane_depths_and_oldest_age() {
         let mb = Mailbox::new(4);
         mb.deposit(env(3, 9, 1));
+        std::thread::sleep(Duration::from_millis(30));
         mb.deposit(env(3, 9, 2));
         mb.deposit(env(2, 5, 7));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -232,8 +289,30 @@ mod tests {
         }))
         .expect_err("must time out");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("(2, 5, 1)"), "snapshot missing lane 2: {msg}");
-        assert!(msg.contains("(3, 9, 2)"), "snapshot missing depth-2 queue: {msg}");
+        assert!(msg.contains("src=2, tag=0x5, n=1"), "snapshot missing lane 2: {msg}");
+        assert!(msg.contains("src=3, tag=0x9, n=2"), "snapshot missing depth-2 queue: {msg}");
+        assert!(msg.contains("oldest="), "snapshot missing oldest-message age: {msg}");
+    }
+
+    #[test]
+    fn depth_snapshot_tracks_oldest_message_age() {
+        let mb = Mailbox::new(4);
+        mb.deposit(env(3, 9, 1));
+        std::thread::sleep(Duration::from_millis(40));
+        mb.deposit(env(3, 9, 2)); // newer message must not reset the age
+        let snap = mb.depth_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!((snap[0].src, snap[0].tag, snap[0].count), (3, 9, 2));
+        assert!(
+            snap[0].oldest_wait >= Duration::from_millis(40),
+            "oldest_wait should reflect the front (oldest) message, got {:?}",
+            snap[0].oldest_wait
+        );
+        // Draining the oldest message shrinks the reported age.
+        let _ = mb.take(3, 9, 0, Duration::from_millis(50));
+        let snap = mb.depth_snapshot();
+        assert_eq!(snap[0].count, 1);
+        assert!(snap[0].oldest_wait < Duration::from_millis(40));
     }
 
     #[test]

@@ -8,6 +8,8 @@ use crate::ctx::{ProcCtx, World};
 use crate::mailbox::Mailbox;
 use crate::model::{MachineModel, TimeMode};
 use crate::span::SpanLog;
+use crate::stall;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::trace::{EventLog, HostStats, PlanStats};
 
 /// Configuration of one machine instance.
@@ -23,6 +25,9 @@ pub struct Machine {
     /// enabling it never changes virtual times. Only effective under
     /// simulated time.
     pub profile: bool,
+    /// Live telemetry registry (see [`crate::Telemetry`]). Host-side
+    /// only: enabling it never changes virtual times.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Machine {
@@ -33,12 +38,19 @@ impl Machine {
             mode: TimeMode::Simulated(model),
             recv_timeout: Duration::from_secs(60),
             profile: false,
+            telemetry: None,
         }
     }
 
     /// A machine with `nprocs` processors running in real (wall-clock) time.
     pub fn real(nprocs: usize) -> Self {
-        Machine { nprocs, mode: TimeMode::Real, recv_timeout: Duration::from_secs(60), profile: false }
+        Machine {
+            nprocs,
+            mode: TimeMode::Real,
+            recv_timeout: Duration::from_secs(60),
+            profile: false,
+            telemetry: None,
+        }
     }
 
     /// Override the deadlock watchdog timeout.
@@ -52,6 +64,17 @@ impl Machine {
     /// observability and never perturbs the virtual clock.
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.profile = on;
+        self
+    }
+
+    /// Attach a live telemetry registry (off by default). The handle is
+    /// shared: keep your clone to scrape metrics mid-run, read flight
+    /// recorders and stall reports — even after a run that panicked. The
+    /// final snapshot also lands in [`RunReport::telemetry`]. Host-side
+    /// observability only: virtual times are bit-identical with telemetry
+    /// on or off.
+    pub fn with_telemetry(mut self, t: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(t);
         self
     }
 }
@@ -78,6 +101,9 @@ pub struct RunReport<R> {
     /// with `with_profiling(true)` under simulated time). Feed these to
     /// [`crate::critical_path`] or [`crate::chrome_trace_full_json`].
     pub spans: Vec<SpanLog>,
+    /// Final telemetry snapshot (`None` unless the machine was built with
+    /// [`Machine::with_telemetry`]).
+    pub telemetry: Option<TelemetrySnapshot>,
     /// Messages deposited but never received (0 for a clean program).
     pub undelivered: usize,
 }
@@ -86,6 +112,26 @@ impl<R> RunReport<R> {
     /// Completion time of the run: the slowest processor's clock.
     pub fn makespan(&self) -> f64 {
         self.times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Machine-wide transport counters: every processor's
+    /// [`HostStats`] merged into one (lane bytes summed element-wise).
+    pub fn host_stats_total(&self) -> HostStats {
+        let mut total = HostStats::default();
+        for h in &self.host_stats {
+            total.merge(h);
+        }
+        total
+    }
+
+    /// Machine-wide communication-plan counters: every processor's
+    /// [`PlanStats`] merged into one.
+    pub fn plan_stats_total(&self) -> PlanStats {
+        let mut total = PlanStats::default();
+        for p in &self.plan_stats {
+            total.merge(p);
+        }
+        total
     }
 
     /// All events with the given label across processors, as
@@ -160,20 +206,32 @@ where
     F: Fn(&mut ProcCtx) -> R + Send + Sync,
 {
     assert!(machine.nprocs >= 1, "machine needs at least one processor");
+    let telemetry = machine.telemetry.clone();
     let world = Arc::new(World {
         nprocs: machine.nprocs,
         mode: machine.mode,
         mailboxes: (0..machine.nprocs).map(|_| Mailbox::new(machine.nprocs)).collect(),
         recv_timeout: machine.recv_timeout,
         profile: machine.profile,
+        telemetry: telemetry.clone(),
     });
     let start = Instant::now();
+    if let Some(t) = &telemetry {
+        t.begin_run(machine.nprocs, start, &world);
+    }
+    // The stall sampler lives exactly as long as the worker scope: the
+    // guard joins it on drop even when a worker panic unwinds past us.
+    let stall_guard = telemetry
+        .as_ref()
+        .filter(|t| t.config().stall)
+        .map(|t| stall::spawn(Arc::clone(t), Arc::clone(&world), start));
 
     let mut outcomes: Vec<Option<ProcOutcome<R>>> = (0..machine.nprocs).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(machine.nprocs);
         for rank in 0..machine.nprocs {
             let world = Arc::clone(&world);
+            let telemetry = telemetry.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut cx = ProcCtx::new(rank, Arc::clone(&world), start);
@@ -187,6 +245,20 @@ where
                         // Unblock everyone else before reporting.
                         for mb in &world.mailboxes {
                             mb.poison();
+                        }
+                        // Black-box readout: dump this processor's flight
+                        // ring, unless it is a secondary poison panic (the
+                        // root cause already dumped its own).
+                        if let Some(t) = &telemetry {
+                            let secondary = payload
+                                .downcast_ref::<String>()
+                                .is_some_and(|s| s.contains("another processor panicked"));
+                            if !secondary {
+                                eprintln!(
+                                    "[fx-telemetry] processor {rank} panicked; flight recorder:\n{}",
+                                    flight_text(t, rank)
+                                );
+                            }
                         }
                         Err(payload)
                     }
@@ -212,6 +284,9 @@ where
                 }
             }
         }
+        // Tear down the stall sampler before leaving the scope (also runs
+        // when resume_unwind below unwinds, since the guard is owned here).
+        drop(stall_guard);
         if let Some(p) = first_panic.or(poison_panic) {
             resume_unwind(p);
         }
@@ -237,7 +312,32 @@ where
         host_stats.push(host);
         spans.push(out.spans);
     }
-    RunReport { results, times, events, traffic, plan_stats, host_stats, spans, undelivered }
+    let telemetry_snapshot = telemetry.as_ref().map(|t| t.snapshot());
+    RunReport {
+        results,
+        times,
+        events,
+        traffic,
+        plan_stats,
+        host_stats,
+        spans,
+        telemetry: telemetry_snapshot,
+        undelivered,
+    }
+}
+
+/// One processor's flight-recorder readout with its blocked-receive state,
+/// for the on-panic stderr dump.
+fn flight_text(t: &Telemetry, rank: usize) -> String {
+    let events = t.flight_events(rank);
+    if events.is_empty() {
+        return "  (no events recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    for ev in &events {
+        out.push_str(&format!("  {ev}\n"));
+    }
+    out
 }
 
 struct ProcOutcome<R> {

@@ -1,0 +1,902 @@
+//! Live host-mode telemetry: a lock-light sharded metrics registry with
+//! OpenMetrics/JSON exporters.
+//!
+//! A [`Telemetry`] handle is created by the harness, attached to a machine
+//! with [`crate::Machine::with_telemetry`], and shared (it is always used
+//! behind an `Arc`). Each run shards the registry per processor: every
+//! simulated processor owns one [`ProcShard`] of relaxed atomic counters
+//! and log-bucketed histograms, so the hot send/receive paths touch only
+//! their own cache lines and never take a lock. Cross-processor state is
+//! limited to a label-interning table (hit once per new region path per
+//! processor, then cached locally); even the chunk-bytes-in-flight gauge
+//! is sharded per processor and only summed at read time.
+//!
+//! Reading is always safe concurrently with a run: exporters and the
+//! stall sampler read the same atomics with relaxed loads, and queue
+//! depths are computed on demand from the live mailboxes rather than
+//! tracked by yet another hot-path atomic.
+//!
+//! Telemetry never touches the virtual clock. Simulated times are
+//! bit-identical with telemetry on, off, or absent; the only cost of
+//! enabling it is host wall-time (a handful of relaxed atomic increments
+//! and one flight-ring slot write per event).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::ctx::World;
+use crate::flight::{FlightEvent, FlightKind, FlightRing, RawEvent, K_BARRIER, K_ENTER, K_EXIT, K_RECV, K_SEND};
+use crate::stall::StallReport;
+
+/// Marker for "not blocked in a receive" in [`ProcShard::wait_src`].
+pub(crate) const NO_WAIT: usize = usize::MAX;
+
+/// Log-bucketed histogram bucket count: finite `le` bounds are
+/// `2^0 .. 2^37` (covers byte sizes to 128 GB and waits to ~137 s in ns),
+/// plus one `+Inf` overflow bucket.
+const HIST_FINITE: usize = 38;
+
+/// A fixed-shape power-of-two histogram. All operations are relaxed
+/// atomics; recording is two single-writer load+store bumps.
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; HIST_FINITE + 1],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// Single-writer counter increment: a relaxed load+store pair instead of
+/// a locked read-modify-write. Every hot-path counter in a [`ProcShard`]
+/// is written only by its owning processor thread, so the unlocked form
+/// is exact — and roughly 3× cheaper than `fetch_add` on x86, which is
+/// what keeps telemetry-on inside the <5% overhead budget.
+#[inline]
+fn bump(a: &AtomicU64, v: u64) {
+    a.store(a.load(Ordering::Relaxed).wrapping_add(v), Ordering::Relaxed);
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            ((u64::BITS - (v - 1).leading_zeros()) as usize).min(HIST_FINITE)
+        };
+        bump(&self.buckets[idx], 1);
+        bump(&self.sum, v);
+    }
+
+    #[cfg(test)]
+    fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Merge into a plain bucket array + sum (for aggregated rendering).
+    fn accumulate(&self, into: &mut ([u64; HIST_FINITE + 1], u64)) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            into.0[i] += b.load(Ordering::Relaxed);
+        }
+        into.1 += self.sum.load(Ordering::Relaxed);
+    }
+}
+
+/// One processor's shard of the registry: plain relaxed atomics, written
+/// only by the owning SPMD thread, read by exporters and the stall
+/// sampler. Counter semantics mirror [`crate::HostStats`] exactly so the
+/// two reconcile after a run. Cache-line aligned so neighbouring shards
+/// (separate allocations, but allocator-adjacent) never false-share.
+#[repr(align(64))]
+pub(crate) struct ProcShard {
+    pub sends: AtomicU64,
+    pub send_bytes: AtomicU64,
+    pub chunk_msgs: AtomicU64,
+    pub chunk_bytes: AtomicU64,
+    pub send_ns: AtomicU64,
+    pub recvs: AtomicU64,
+    pub recv_bytes: AtomicU64,
+    pub recv_wait_ns: AtomicU64,
+    pub barriers: AtomicU64,
+    pub region_enters: AtomicU64,
+    pub region_skips: AtomicU64,
+    pub pool_hits: AtomicU64,
+    pub pool_misses: AtomicU64,
+    pub plan_hits: AtomicU64,
+    pub plan_misses: AtomicU64,
+    pub pack_ns: AtomicU64,
+    pub lane_contention: AtomicU64,
+    /// This processor's contribution to the chunk-bytes-in-flight gauge:
+    /// +bytes when it sends a chunk, -bytes when it receives one. The
+    /// machine-wide gauge is the sum over shards (each shard stays
+    /// single-writer; no shared cache line on the hot path).
+    pub chunk_flight: AtomicI64,
+    /// Monotone event counter (sends + recvs + barriers + scope
+    /// transitions); the stall sampler watches it for forward progress.
+    pub progress: AtomicU64,
+    /// Source rank this processor is currently blocked receiving from
+    /// ([`NO_WAIT`] when not blocked).
+    pub wait_src: AtomicUsize,
+    /// Tag of the in-progress blocking receive (valid when `wait_src` is
+    /// not [`NO_WAIT`]).
+    pub wait_tag: AtomicU64,
+    /// Sent message sizes in bytes.
+    pub msg_bytes_hist: Histogram,
+    /// Blocking receive wait durations in nanoseconds.
+    pub recv_wait_hist: Histogram,
+    /// Region-enter counts keyed by interned path id. Locked only on
+    /// scope transitions (rare next to messages) and by exporters.
+    pub scope_counts: Mutex<HashMap<u32, u64>>,
+    /// The flight recorder ring for this processor.
+    pub flight: FlightRing,
+}
+
+impl ProcShard {
+    fn new(flight_capacity: usize) -> Self {
+        ProcShard {
+            sends: AtomicU64::new(0),
+            send_bytes: AtomicU64::new(0),
+            chunk_msgs: AtomicU64::new(0),
+            chunk_bytes: AtomicU64::new(0),
+            send_ns: AtomicU64::new(0),
+            recvs: AtomicU64::new(0),
+            recv_bytes: AtomicU64::new(0),
+            recv_wait_ns: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+            region_enters: AtomicU64::new(0),
+            region_skips: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            pack_ns: AtomicU64::new(0),
+            lane_contention: AtomicU64::new(0),
+            chunk_flight: AtomicI64::new(0),
+            progress: AtomicU64::new(0),
+            wait_src: AtomicUsize::new(NO_WAIT),
+            wait_tag: AtomicU64::new(0),
+            msg_bytes_hist: Histogram::default(),
+            recv_wait_hist: Histogram::default(),
+            scope_counts: Mutex::new(HashMap::new()),
+            flight: FlightRing::new(flight_capacity),
+        }
+    }
+
+    /// All counters for one send (either payload path).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_send(&self, bytes: u64, chunk: bool, ns: u64, wall_ns: u64, vbits: u64, dst: usize, tag: u64) {
+        bump(&self.sends, 1);
+        bump(&self.send_bytes, bytes);
+        bump(&self.send_ns, ns);
+        if chunk {
+            bump(&self.chunk_msgs, 1);
+            bump(&self.chunk_bytes, bytes);
+            // The in-flight gauge is sharded too: the sender credits its
+            // own shard, the receiver debits its own; the sum over shards
+            // is the machine-wide gauge. Keeps the hot path off any
+            // shared cache line.
+            let f = self.chunk_flight.load(Ordering::Relaxed);
+            self.chunk_flight.store(f + bytes as i64, Ordering::Relaxed);
+        }
+        self.msg_bytes_hist.record(bytes);
+        bump(&self.progress, 1);
+        self.flight.push(RawEvent {
+            packed: RawEvent::pack(K_SEND, 0, dst as u32),
+            tag,
+            bytes,
+            wall_ns,
+            vtime_bits: vbits,
+        });
+    }
+
+    /// All counters for one completed receive.
+    #[inline]
+    pub fn on_recv(&self, bytes: u64, waited_ns: u64, wall_ns: u64, vbits: u64, src: usize, tag: u64) {
+        bump(&self.recvs, 1);
+        bump(&self.recv_bytes, bytes);
+        bump(&self.recv_wait_ns, waited_ns);
+        self.recv_wait_hist.record(waited_ns);
+        bump(&self.progress, 1);
+        self.wait_src.store(NO_WAIT, Ordering::Relaxed);
+        self.flight.push(RawEvent {
+            packed: RawEvent::pack(K_RECV, 0, src as u32),
+            tag,
+            bytes,
+            wall_ns,
+            vtime_bits: vbits,
+        });
+    }
+
+    /// Mark this processor as parked in a blocking receive on `(src, tag)`
+    /// so the stall sampler can name who it is waiting on.
+    #[inline]
+    pub fn begin_wait(&self, src: usize, tag: u64) {
+        self.wait_tag.store(tag, Ordering::Relaxed);
+        self.wait_src.store(src, Ordering::Relaxed);
+    }
+
+    /// Debit the in-flight gauge on this (receiving) processor's shard.
+    #[inline]
+    pub fn on_recv_chunk_bytes(&self, bytes: u64) {
+        let f = self.chunk_flight.load(Ordering::Relaxed);
+        self.chunk_flight.store(f - bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Count a deposit that found the destination lane lock held.
+    #[inline]
+    pub fn on_lane_contention(&self) {
+        bump(&self.lane_contention, 1);
+    }
+
+    /// Count one skipped task region.
+    #[inline]
+    pub fn note_region_skip(&self) {
+        bump(&self.region_skips, 1);
+    }
+
+    pub fn on_barrier(&self, wall_ns: u64, vbits: u64) {
+        bump(&self.barriers, 1);
+        bump(&self.progress, 1);
+        self.flight.push(RawEvent {
+            packed: RawEvent::pack(K_BARRIER, 0, 0),
+            tag: 0,
+            bytes: 0,
+            wall_ns,
+            vtime_bits: vbits,
+        });
+    }
+
+    pub fn on_region_enter(&self, label: u32, wall_ns: u64, vbits: u64) {
+        bump(&self.region_enters, 1);
+        bump(&self.progress, 1);
+        *self.scope_counts.lock().entry(label).or_insert(0) += 1;
+        self.flight.push(RawEvent {
+            packed: RawEvent::pack(K_ENTER, label, 0),
+            tag: 0,
+            bytes: 0,
+            wall_ns,
+            vtime_bits: vbits,
+        });
+    }
+
+    pub fn on_region_exit(&self, label: u32, wall_ns: u64, vbits: u64) {
+        bump(&self.progress, 1);
+        self.flight.push(RawEvent {
+            packed: RawEvent::pack(K_EXIT, label, 0),
+            tag: 0,
+            bytes: 0,
+            wall_ns,
+            vtime_bits: vbits,
+        });
+    }
+}
+
+/// Tuning knobs for a [`Telemetry`] handle.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Flight-recorder ring capacity per processor (events retained).
+    pub flight_capacity: usize,
+    /// Run the stall-detector sampler thread during host-mode runs.
+    pub stall: bool,
+    /// A processor blocked in a receive without forward progress for this
+    /// long is reported as stalled.
+    pub stall_window: Duration,
+    /// How often the stall sampler wakes to check progress counters.
+    pub stall_sample_every: Duration,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            flight_capacity: 256,
+            stall: true,
+            stall_window: Duration::from_millis(1000),
+            stall_sample_every: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Per-run registry state, swapped wholesale by [`Telemetry::begin_run`].
+struct Inner {
+    shards: Vec<Arc<ProcShard>>,
+    /// Interned region-path labels, id = index. Append-only across runs so
+    /// cached ids stay valid.
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+    /// Wall-clock start of the current (or last) run.
+    start: Option<Instant>,
+    /// The live world, for on-demand queue-depth gauges. Dangling after
+    /// the run finishes.
+    world: Weak<World>,
+}
+
+/// The live telemetry handle: metrics registry, flight recorders, and
+/// stall reports, with OpenMetrics/JSON exporters.
+///
+/// Create one, wrap it in an `Arc`, and attach it to a machine:
+///
+/// ```
+/// use std::sync::Arc;
+/// use fx_runtime::{run, Machine, Telemetry};
+///
+/// let telemetry = Arc::new(Telemetry::new());
+/// let machine = Machine::real(2).with_telemetry(Arc::clone(&telemetry));
+/// let rep = run(&machine, |cx| {
+///     if cx.rank() == 0 { cx.send(1, 1, 7u32); } else { let _: u32 = cx.recv(0, 1); }
+/// });
+/// assert_eq!(rep.telemetry.as_ref().unwrap().total().sends, 1);
+/// let text = telemetry.render_openmetrics();
+/// assert!(text.ends_with("# EOF\n"));
+/// ```
+///
+/// The handle outlives the run: scrape it live from another thread (or
+/// the `telemetry-http` endpoint) while the program executes, and read
+/// final counters, flight dumps, and stall reports after it finishes —
+/// even when the run ended in a panic and no report was produced.
+pub struct Telemetry {
+    config: TelemetryConfig,
+    inner: Mutex<Inner>,
+    stall_reports: Mutex<Vec<StallReport>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Telemetry")
+            .field("config", &self.config)
+            .field("nprocs", &inner.shards.len())
+            .field("labels", &inner.names.len())
+            .field("stall_reports", &self.stall_reports.lock().len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A telemetry handle with default configuration.
+    pub fn new() -> Self {
+        Telemetry::with_config(TelemetryConfig::default())
+    }
+
+    /// A telemetry handle with explicit configuration.
+    pub fn with_config(config: TelemetryConfig) -> Self {
+        Telemetry {
+            config,
+            inner: Mutex::new(Inner {
+                shards: Vec::new(),
+                names: Vec::new(),
+                ids: HashMap::new(),
+                start: None,
+                world: Weak::new(),
+            }),
+            stall_reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration this handle was built with.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Reset counters and attach to a new run. Called by [`crate::run`];
+    /// a handle reused across runs reports only the latest run.
+    pub(crate) fn begin_run(&self, nprocs: usize, start: Instant, world: &Arc<World>) {
+        let mut inner = self.inner.lock();
+        inner.shards = (0..nprocs).map(|_| Arc::new(ProcShard::new(self.config.flight_capacity))).collect();
+        inner.start = Some(start);
+        inner.world = Arc::downgrade(world);
+        drop(inner);
+        self.stall_reports.lock().clear();
+    }
+
+    pub(crate) fn shard(&self, rank: usize) -> Arc<ProcShard> {
+        Arc::clone(&self.inner.lock().shards[rank])
+    }
+
+    pub(crate) fn shards(&self) -> Vec<Arc<ProcShard>> {
+        self.inner.lock().shards.clone()
+    }
+
+    pub(crate) fn world(&self) -> Option<Arc<World>> {
+        self.inner.lock().world.upgrade()
+    }
+
+    /// Intern a region path, returning a stable small id.
+    pub(crate) fn intern(&self, path: &str) -> u32 {
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.ids.get(path) {
+            return id;
+        }
+        let id = inner.names.len() as u32;
+        let arc: Arc<str> = Arc::from(path);
+        inner.names.push(Arc::clone(&arc));
+        inner.ids.insert(arc, id);
+        id
+    }
+
+    /// Resolve an interned label id back to its path.
+    pub(crate) fn resolve(&self, id: u32) -> Arc<str> {
+        let inner = self.inner.lock();
+        inner
+            .names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| Arc::from(format!("label#{id}").as_str()))
+    }
+
+    pub(crate) fn push_stall_report(&self, report: StallReport) {
+        let mut reports = self.stall_reports.lock();
+        // Bounded: a long-lived stall re-reported forever must not grow
+        // without limit.
+        if reports.len() < 256 {
+            reports.push(report);
+        }
+    }
+
+    /// Stall-detector reports accumulated during the current/last run,
+    /// oldest first. Readable even after a run that ended in a panic.
+    pub fn stall_reports(&self) -> Vec<StallReport> {
+        self.stall_reports.lock().clone()
+    }
+
+    /// Chunk payload bytes currently deposited in mailboxes (sum of the
+    /// per-processor sharded gauge; transiently off by in-progress
+    /// messages while the run executes, exact once it finishes).
+    pub fn chunk_bytes_in_flight(&self) -> i64 {
+        self.shards().iter().map(|s| s.chunk_flight.load(Ordering::Relaxed)).sum()
+    }
+
+    // ----- flight recorder ------------------------------------------------
+
+    /// The retained flight-recorder events of one processor, oldest first,
+    /// with region labels resolved.
+    pub fn flight_events(&self, proc: usize) -> Vec<FlightEvent> {
+        let shard = {
+            let inner = self.inner.lock();
+            match inner.shards.get(proc) {
+                Some(s) => Arc::clone(s),
+                None => return Vec::new(),
+            }
+        };
+        shard
+            .flight
+            .snapshot()
+            .into_iter()
+            .map(|raw| {
+                let kind = match raw.kind() {
+                    K_SEND => FlightKind::Send { peer: raw.peer(), tag: raw.tag, bytes: raw.bytes },
+                    K_RECV => FlightKind::Recv { peer: raw.peer(), tag: raw.tag, bytes: raw.bytes },
+                    K_BARRIER => FlightKind::Barrier,
+                    K_ENTER => FlightKind::RegionEnter(self.resolve(raw.label()).to_string()),
+                    _ => FlightKind::RegionExit(self.resolve(raw.label()).to_string()),
+                };
+                FlightEvent { wall_ns: raw.wall_ns, vtime: f64::from_bits(raw.vtime_bits), kind }
+            })
+            .collect()
+    }
+
+    /// Human-readable flight dump of every processor's ring (the black-box
+    /// readout printed on panic and attached to CI artifacts).
+    pub fn flight_dump(&self) -> String {
+        let nprocs = self.inner.lock().shards.len();
+        let mut out = String::new();
+        for p in 0..nprocs {
+            let events = self.flight_events(p);
+            let shard = self.shard(p);
+            out.push_str(&format!(
+                "=== processor {p}: {} retained of {} recorded ===\n",
+                events.len(),
+                shard.flight.pushed()
+            ));
+            let (src, tag) = (shard.wait_src.load(Ordering::Relaxed), shard.wait_tag.load(Ordering::Relaxed));
+            if src != NO_WAIT {
+                out.push_str(&format!("    (blocked in recv(src={src}, tag={tag:#x}))\n"));
+            }
+            for ev in &events {
+                out.push_str(&format!("  {ev}\n"));
+            }
+        }
+        out
+    }
+
+    // ----- snapshots ------------------------------------------------------
+
+    /// A consistent-enough point-in-time copy of every counter (relaxed
+    /// reads; exact once the run has finished).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let (shards, names) = {
+            let inner = self.inner.lock();
+            (inner.shards.clone(), inner.names.clone())
+        };
+        let per_proc: Vec<ProcTotals> = shards.iter().map(|s| ProcTotals::from_shard(s)).collect();
+        let mut regions: Vec<(String, u64)> = Vec::new();
+        let mut region_map: HashMap<u32, u64> = HashMap::new();
+        for s in &shards {
+            for (&id, &n) in s.scope_counts.lock().iter() {
+                *region_map.entry(id).or_insert(0) += n;
+            }
+        }
+        let mut ids: Vec<u32> = region_map.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let name = names.get(id as usize).map(|a| a.to_string()).unwrap_or_else(|| format!("label#{id}"));
+            regions.push((name, region_map[&id]));
+        }
+        TelemetrySnapshot {
+            per_proc,
+            regions,
+            chunk_bytes_in_flight: shards.iter().map(|s| s.chunk_flight.load(Ordering::Relaxed)).sum(),
+            stall_report_count: self.stall_reports.lock().len(),
+        }
+    }
+
+    /// Machine-wide totals (sum of [`Telemetry::snapshot`] per-processor
+    /// rows).
+    pub fn total(&self) -> ProcTotals {
+        self.snapshot().total()
+    }
+
+    // ----- exporters ------------------------------------------------------
+
+    /// Render the registry in OpenMetrics text format (Prometheus
+    /// exposition), ending with `# EOF`. Per-processor counters carry a
+    /// `proc` label; region-enter counters carry a `path` label; queue
+    /// depths are gauged live from the mailboxes while the run executes.
+    pub fn render_openmetrics(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(4096);
+
+        let counter = |out: &mut String, name: &str, help: &str, rows: &dyn Fn(&mut String)| {
+            out.push_str(&format!("# TYPE {name} counter\n# HELP {name} {help}\n"));
+            rows(out);
+        };
+        macro_rules! per_proc_counter {
+            ($name:literal, $help:literal, $field:ident) => {
+                counter(&mut out, $name, $help, &|out: &mut String| {
+                    for (p, t) in snap.per_proc.iter().enumerate() {
+                        out.push_str(&format!(concat!($name, "_total{{proc=\"{}\"}} {}\n"), p, t.$field));
+                    }
+                });
+            };
+        }
+        per_proc_counter!("fx_sends", "Messages sent (both payload paths).", sends);
+        per_proc_counter!("fx_send_bytes", "Payload bytes sent.", send_bytes);
+        per_proc_counter!("fx_recvs", "Messages received.", recvs);
+        per_proc_counter!("fx_recv_bytes", "Payload bytes received.", recv_bytes);
+        per_proc_counter!("fx_send_ns", "Host nanoseconds inside send calls.", send_ns);
+        per_proc_counter!("fx_recv_wait_ns", "Host nanoseconds blocked in receives.", recv_wait_ns);
+        per_proc_counter!("fx_chunk_msgs", "Messages sent via the chunk fast path.", chunk_msgs);
+        per_proc_counter!("fx_chunk_bytes", "Payload bytes sent via the chunk fast path.", chunk_bytes);
+        per_proc_counter!("fx_barriers", "Group barriers entered.", barriers);
+        per_proc_counter!("fx_region_enters", "Task-region scopes entered.", region_enters);
+        per_proc_counter!("fx_region_skips", "Task regions skipped (processor not a member).", region_skips);
+        per_proc_counter!("fx_pool_hits", "Buffer-pool hits (buffer recycled).", pool_hits);
+        per_proc_counter!("fx_pool_misses", "Buffer-pool misses (allocator invoked).", pool_misses);
+        per_proc_counter!("fx_plan_hits", "Communication-plan cache hits.", plan_hits);
+        per_proc_counter!("fx_plan_misses", "Communication-plan cache misses.", plan_misses);
+        per_proc_counter!("fx_plan_pack_ns", "Host nanoseconds packing/unpacking plan buffers.", pack_ns);
+        per_proc_counter!("fx_lane_contention", "Mailbox lane deposits that found the lane lock held.", lane_contention);
+        per_proc_counter!("fx_progress", "Monotone per-processor progress events.", progress);
+
+        counter(&mut out, "fx_region_path_enters", "Region entries by subgroup path.", &|out| {
+            for (path, n) in &snap.regions {
+                out.push_str(&format!("fx_region_path_enters_total{{path=\"{}\"}} {n}\n", escape_label(path)));
+            }
+        });
+
+        out.push_str("# TYPE fx_chunk_bytes_in_flight gauge\n");
+        out.push_str("# HELP fx_chunk_bytes_in_flight Chunk payload bytes currently deposited in mailboxes.\n");
+        out.push_str(&format!("fx_chunk_bytes_in_flight {}\n", snap.chunk_bytes_in_flight));
+
+        // Queue depths are computed live from the mailboxes; after the run
+        // finishes the world is gone and the gauges read 0.
+        let world = self.world();
+        out.push_str("# TYPE fx_queue_depth gauge\n");
+        out.push_str("# HELP fx_queue_depth Messages queued in each processor's mailbox.\n");
+        for p in 0..snap.per_proc.len() {
+            let depth: usize = world
+                .as_ref()
+                .map(|w| w.mailboxes[p].depth_snapshot().iter().map(|d| d.count).sum())
+                .unwrap_or(0);
+            out.push_str(&format!("fx_queue_depth{{proc=\"{p}\"}} {depth}\n"));
+        }
+        out.push_str("# TYPE fx_oldest_queued_seconds gauge\n");
+        out.push_str("# HELP fx_oldest_queued_seconds Age of the oldest message queued in each mailbox.\n");
+        for p in 0..snap.per_proc.len() {
+            let oldest: f64 = world
+                .as_ref()
+                .map(|w| {
+                    w.mailboxes[p]
+                        .depth_snapshot()
+                        .iter()
+                        .map(|d| d.oldest_wait.as_secs_f64())
+                        .fold(0.0, f64::max)
+                })
+                .unwrap_or(0.0);
+            out.push_str(&format!("fx_oldest_queued_seconds{{proc=\"{p}\"}} {oldest:.6}\n"));
+        }
+
+        self.render_histogram(&mut out, "fx_msg_size_bytes", "Sent message sizes in bytes.", |s| &s.msg_bytes_hist);
+        self.render_histogram(&mut out, "fx_recv_wait_duration_ns", "Blocking receive wait durations in nanoseconds.", |s| {
+            &s.recv_wait_hist
+        });
+
+        out.push_str("# EOF\n");
+        out
+    }
+
+    fn render_histogram(
+        &self,
+        out: &mut String,
+        name: &str,
+        help: &str,
+        pick: impl Fn(&ProcShard) -> &Histogram,
+    ) {
+        let shards = self.shards();
+        let mut acc = ([0u64; HIST_FINITE + 1], 0u64);
+        for s in &shards {
+            pick(s).accumulate(&mut acc);
+        }
+        out.push_str(&format!("# TYPE {name} histogram\n# HELP {name} {help}\n"));
+        let mut cumulative = 0u64;
+        for (i, &c) in acc.0.iter().enumerate() {
+            cumulative += c;
+            if i < HIST_FINITE {
+                out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", 1u64 << i));
+            } else {
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!("{name}_sum {}\n", acc.1));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+
+    /// Render the registry as a JSON document (hand-written, no serde
+    /// dependency): per-processor counter objects, aggregated region
+    /// counts, gauges, and stall-report count.
+    pub fn render_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("{\"procs\":[");
+        for (p, t) in snap.per_proc.iter().enumerate() {
+            if p > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push_str("],\"total\":");
+        out.push_str(&snap.total().to_json());
+        out.push_str(",\"regions\":{");
+        for (i, (path, n)) in snap.regions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{n}", escape_label(path)));
+        }
+        out.push_str(&format!(
+            "}},\"chunk_bytes_in_flight\":{},\"stall_reports\":{}}}",
+            snap.chunk_bytes_in_flight, snap.stall_report_count
+        ));
+        out
+    }
+}
+
+/// Escape a label value for OpenMetrics / JSON string position.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Final counter values of one processor (or machine-wide totals via
+/// [`TelemetrySnapshot::total`]). Field semantics mirror
+/// [`crate::HostStats`]; the registry and `HostStats` reconcile exactly
+/// after a run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ProcTotals {
+    /// Messages sent (both payload paths).
+    pub sends: u64,
+    /// Payload bytes sent.
+    pub send_bytes: u64,
+    /// Messages sent via the chunk fast path.
+    pub chunk_msgs: u64,
+    /// Payload bytes sent via the chunk fast path.
+    pub chunk_bytes: u64,
+    /// Host nanoseconds inside send calls.
+    pub send_ns: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Payload bytes received.
+    pub recv_bytes: u64,
+    /// Host nanoseconds blocked in receives.
+    pub recv_wait_ns: u64,
+    /// Group barriers entered.
+    pub barriers: u64,
+    /// Task-region scopes entered.
+    pub region_enters: u64,
+    /// Task regions skipped because the processor was not a member.
+    pub region_skips: u64,
+    /// Buffer-pool hits.
+    pub pool_hits: u64,
+    /// Buffer-pool misses.
+    pub pool_misses: u64,
+    /// Communication-plan cache hits.
+    pub plan_hits: u64,
+    /// Communication-plan cache misses.
+    pub plan_misses: u64,
+    /// Host nanoseconds packing/unpacking plan buffers.
+    pub pack_ns: u64,
+    /// Mailbox deposits that found the destination lane lock held.
+    pub lane_contention: u64,
+    /// Monotone progress events (sends + recvs + barriers + scopes).
+    pub progress: u64,
+    /// Flight-recorder events recorded over the run (≥ retained).
+    pub flight_recorded: u64,
+}
+
+impl ProcTotals {
+    fn from_shard(s: &ProcShard) -> Self {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ProcTotals {
+            sends: ld(&s.sends),
+            send_bytes: ld(&s.send_bytes),
+            chunk_msgs: ld(&s.chunk_msgs),
+            chunk_bytes: ld(&s.chunk_bytes),
+            send_ns: ld(&s.send_ns),
+            recvs: ld(&s.recvs),
+            recv_bytes: ld(&s.recv_bytes),
+            recv_wait_ns: ld(&s.recv_wait_ns),
+            barriers: ld(&s.barriers),
+            region_enters: ld(&s.region_enters),
+            region_skips: ld(&s.region_skips),
+            pool_hits: ld(&s.pool_hits),
+            pool_misses: ld(&s.pool_misses),
+            plan_hits: ld(&s.plan_hits),
+            plan_misses: ld(&s.plan_misses),
+            pack_ns: ld(&s.pack_ns),
+            lane_contention: ld(&s.lane_contention),
+            progress: ld(&s.progress),
+            flight_recorded: s.flight.pushed(),
+        }
+    }
+
+    /// Accumulate another row into this one.
+    pub fn merge(&mut self, other: &ProcTotals) {
+        self.sends += other.sends;
+        self.send_bytes += other.send_bytes;
+        self.chunk_msgs += other.chunk_msgs;
+        self.chunk_bytes += other.chunk_bytes;
+        self.send_ns += other.send_ns;
+        self.recvs += other.recvs;
+        self.recv_bytes += other.recv_bytes;
+        self.recv_wait_ns += other.recv_wait_ns;
+        self.barriers += other.barriers;
+        self.region_enters += other.region_enters;
+        self.region_skips += other.region_skips;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.pack_ns += other.pack_ns;
+        self.lane_contention += other.lane_contention;
+        self.progress += other.progress;
+        self.flight_recorded += other.flight_recorded;
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"sends\":{},\"send_bytes\":{},\"chunk_msgs\":{},\"chunk_bytes\":{},\"send_ns\":{},\
+             \"recvs\":{},\"recv_bytes\":{},\"recv_wait_ns\":{},\"barriers\":{},\
+             \"region_enters\":{},\"region_skips\":{},\"pool_hits\":{},\"pool_misses\":{},\
+             \"plan_hits\":{},\"plan_misses\":{},\"pack_ns\":{},\"lane_contention\":{},\
+             \"progress\":{},\"flight_recorded\":{}}}",
+            self.sends,
+            self.send_bytes,
+            self.chunk_msgs,
+            self.chunk_bytes,
+            self.send_ns,
+            self.recvs,
+            self.recv_bytes,
+            self.recv_wait_ns,
+            self.barriers,
+            self.region_enters,
+            self.region_skips,
+            self.pool_hits,
+            self.pool_misses,
+            self.plan_hits,
+            self.plan_misses,
+            self.pack_ns,
+            self.lane_contention,
+            self.progress,
+            self.flight_recorded
+        )
+    }
+}
+
+/// Point-in-time copy of the whole registry, as stored in
+/// [`crate::RunReport::telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// One counter row per processor, indexed by physical rank.
+    pub per_proc: Vec<ProcTotals>,
+    /// Region-enter counts by subgroup path, aggregated across
+    /// processors, sorted by first occurrence.
+    pub regions: Vec<(String, u64)>,
+    /// Chunk payload bytes deposited but not yet received at snapshot
+    /// time (0 after a clean run).
+    pub chunk_bytes_in_flight: i64,
+    /// Number of stall reports the detector emitted.
+    pub stall_report_count: usize,
+}
+
+impl TelemetrySnapshot {
+    /// Machine-wide totals: every per-processor row merged.
+    pub fn total(&self) -> ProcTotals {
+        let mut t = ProcTotals::default();
+        for row in &self.per_proc {
+            t.merge(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_pow2() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let mut acc = ([0u64; HIST_FINITE + 1], 0u64);
+        h.accumulate(&mut acc);
+        assert_eq!(acc.0[0], 2, "0 and 1 land in le=1");
+        assert_eq!(acc.0[1], 1, "2 lands in le=2");
+        assert_eq!(acc.0[2], 2, "3 and 4 land in le=4");
+        assert_eq!(acc.0[10], 1, "1000 lands in le=1024");
+        assert_eq!(acc.0[HIST_FINITE], 1, "u64::MAX overflows to +Inf");
+    }
+
+    #[test]
+    fn intern_is_stable_and_resolves() {
+        let t = Telemetry::new();
+        let a = t.intern("G1/fft");
+        let b = t.intern("G2/hist");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("G1/fft"), a);
+        assert_eq!(&*t.resolve(a), "G1/fft");
+        assert_eq!(&*t.resolve(b), "G2/hist");
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_openmetrics() {
+        let t = Telemetry::new();
+        let text = t.render_openmetrics();
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE fx_sends counter"));
+        let json = t.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

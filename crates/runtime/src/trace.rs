@@ -30,6 +30,29 @@ pub struct PlanStats {
     pub pack_ns: u64,
 }
 
+impl PlanStats {
+    /// Accumulate another processor's counters into this one. Harnesses
+    /// fold per-processor stats into machine totals with this instead of
+    /// summing fields by hand (see [`crate::RunReport::plan_stats_total`]).
+    pub fn merge(&mut self, other: &PlanStats) {
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.pack_ns += other.pack_ns;
+    }
+}
+
+impl std::fmt::Display for PlanStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plans: {} hits / {} misses, pack {:.3} ms",
+            self.plan_hits,
+            self.plan_misses,
+            self.pack_ns as f64 / 1e6
+        )
+    }
+}
+
 /// Per-processor host-side transport counters.
 ///
 /// Where [`PlanStats`] measures plan construction and pack loops, this
@@ -57,6 +80,48 @@ pub struct HostStats {
     pub lane_bytes: Vec<u64>,
     /// The processor's communication-plan counters, for one-stop reading.
     pub plan: PlanStats,
+}
+
+impl HostStats {
+    /// Accumulate another processor's counters into this one: scalar
+    /// counters sum, `lane_bytes` sums element-wise (growing to the longer
+    /// of the two), and the embedded [`PlanStats`] merge. Harnesses fold
+    /// per-processor stats into machine totals with this instead of
+    /// summing fields by hand (see [`crate::RunReport::host_stats_total`]).
+    pub fn merge(&mut self, other: &HostStats) {
+        self.send_ns += other.send_ns;
+        self.recv_wait_ns += other.recv_wait_ns;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.chunk_msgs += other.chunk_msgs;
+        self.chunk_bytes += other.chunk_bytes;
+        if self.lane_bytes.len() < other.lane_bytes.len() {
+            self.lane_bytes.resize(other.lane_bytes.len(), 0);
+        }
+        for (a, b) in self.lane_bytes.iter_mut().zip(&other.lane_bytes) {
+            *a += b;
+        }
+        self.plan.merge(&other.plan);
+    }
+}
+
+impl std::fmt::Display for HostStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let lane_total: u64 = self.lane_bytes.iter().sum();
+        write!(
+            f,
+            "send {:.3} ms, recv-wait {:.3} ms, pool {} hits / {} misses, \
+             chunks {} msgs ({} B), lanes {} B; {}",
+            self.send_ns as f64 / 1e6,
+            self.recv_wait_ns as f64 / 1e6,
+            self.pool_hits,
+            self.pool_misses,
+            self.chunk_msgs,
+            self.chunk_bytes,
+            lane_total,
+            self.plan
+        )
+    }
 }
 
 /// One timestamped mark on a processor's clock.

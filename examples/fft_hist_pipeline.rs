@@ -6,19 +6,49 @@
 //! processor subsets let the stages overlap on different data sets.
 //!
 //! Run with: `cargo run --release --example fft_hist_pipeline`
+//!
+//! Set `FX_TELEMETRY=1` to attach the live metrics registry and write
+//! `results/fft_hist_pipeline.om` (OpenMetrics), `.json`, and a flight
+//! dump `.flight.txt` — the artifact set CI's telemetry-smoke job checks.
+
+use std::sync::Arc;
 
 use fx::apps::ffthist::{
     fft_hist_dp, fft_hist_pipeline, reference_histogram, FftHistConfig,
 };
 use fx::apps::util::{SET_DONE, SET_START};
 use fx::prelude::*;
+use fx::runtime::Telemetry;
 
 fn main() {
     let cfg = FftHistConfig::new(64, 12);
-    let machine = Machine::simulated(6, MachineModel::paragon());
+    let mut machine = Machine::simulated(6, MachineModel::paragon());
+
+    let telemetry = if std::env::var_os("FX_TELEMETRY").is_some() {
+        let t = Arc::new(Telemetry::new());
+        machine = machine.with_telemetry(Arc::clone(&t));
+        Some(t)
+    } else {
+        None
+    };
 
     // The pipeline of Figure 2(c): G1(2), G2(3), G3(1).
     let pipe = spmd(&machine, |cx| fft_hist_pipeline(cx, &cfg, [2, 3, 1]));
+
+    if let Some(t) = &telemetry {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/fft_hist_pipeline.om", t.render_openmetrics())
+            .expect("write OpenMetrics export");
+        std::fs::write("results/fft_hist_pipeline.json", t.render_json())
+            .expect("write JSON export");
+        std::fs::write("results/fft_hist_pipeline.flight.txt", t.flight_dump())
+            .expect("write flight dump");
+        let total = t.total();
+        println!(
+            "telemetry: {} sends / {} recvs / {} region enters -> results/fft_hist_pipeline.{{om,json,flight.txt}}",
+            total.sends, total.recvs, total.region_enters
+        );
+    }
     let thr = pipe.throughput(SET_DONE, 3);
     let lat = pipe.latency(SET_START, SET_DONE);
     println!("pipeline [2, 3, 1] on 6 procs: {thr:.2} sets/s, latency {lat:.4} s");

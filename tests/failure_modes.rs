@@ -192,6 +192,50 @@ fn darray_misuse_panics() {
     assert!(panic_message(err).contains("collective over the array's group"));
 }
 
+/// The stall detector names who is blocked on whom: in a deadlocked
+/// two-processor exchange (each waiting on a message the other never
+/// sends), reports must appear before the watchdog kills the run and
+/// must carry both processors' `(src, tag)` wait edges.
+#[test]
+fn stall_detector_diagnoses_deadlocked_exchange() {
+    use fx::runtime::{Telemetry, TelemetryConfig};
+    use std::sync::Arc;
+
+    let telemetry = Arc::new(Telemetry::with_config(TelemetryConfig {
+        stall_window: Duration::from_millis(250),
+        stall_sample_every: Duration::from_millis(25),
+        ..TelemetryConfig::default()
+    }));
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_secs(2))
+        .with_telemetry(Arc::clone(&telemetry));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                let _: u64 = cx.recv(1, 7); // 1 never sends tag 7
+            } else {
+                let _: u64 = cx.recv(0, 9); // 0 never sends tag 9
+            }
+        })
+    }))
+    .expect_err("the deadlock watchdog must eventually kill the run");
+    let msg = panic_message(err);
+    assert!(msg.contains("timed out") || msg.contains("another processor panicked"), "got: {msg}");
+
+    let reports = telemetry.stall_reports();
+    assert!(!reports.is_empty(), "stall detector fired before the watchdog");
+    let all: String = reports.iter().map(|r| r.to_string()).collect();
+    assert!(
+        all.contains("recv(src=1, tag=0x7)"),
+        "report must name processor 0's wait edge, got:\n{all}"
+    );
+    assert!(
+        all.contains("recv(src=0, tag=0x9)"),
+        "report must name processor 1's wait edge, got:\n{all}"
+    );
+    assert!(all.contains("[cycle]"), "mutual wait must be flagged as a cycle, got:\n{all}");
+}
+
 /// The report counts undelivered messages so leaks are visible.
 #[test]
 fn undelivered_messages_are_reported() {

@@ -217,9 +217,14 @@ fn main() {
         );
     }
 
-    let mut json = String::from(
-        "{\n  \"bench\": \"msg_host_time\",\n  \"pattern\": \"credit_windowed_fan_in\",\n  \
+    // The executor every run above resolved to (real-mode default, or
+    // the FX_EXECUTOR/FX_WORKERS override), recorded so host-time
+    // numbers are never compared across executors by accident.
+    let mut json = format!(
+        "{{\n  \"bench\": \"msg_host_time\",\n  \"pattern\": \"credit_windowed_fan_in\",\n  \
+         \"executor\": \"{}\",\n  \
          \"unit\": \"ns_receiver_measured_rounds\",\n  \"results\": [\n",
+        Machine::real(2).executor
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

@@ -1,0 +1,219 @@
+//! The determinism bar for the pooled executor: every benchmark
+//! workload must produce **bit-identical virtual times** under the
+//! pooled coroutine executor and the threaded reference executor,
+//! profiled and unprofiled.
+//!
+//! One test per benchmark binary (ablations, fig5_mappings,
+//! fig6_airshed, machines, scaling, table1, tradeoff), each running a
+//! reduced-size but structurally faithful version of that binary's
+//! workload. Virtual time in the simulator is a pure function of the
+//! program and the machine model — message causality (`recv` takes the
+//! max of the local clock and the arrival time) is the only coupling
+//! between processor clocks — so host scheduling must never leak into
+//! the numbers. These tests are what make that claim enforceable.
+//!
+//! Executors are selected with explicit `with_executor` calls, never
+//! via `FX_EXECUTOR`, so the suite is safe under the parallel test
+//! runner.
+
+use fx_apps::airshed::{airshed_best, airshed_dp, airshed_tp, AirshedConfig};
+use fx_apps::ffthist::{
+    fft_hist_dp, fft_hist_pipeline_mode, fft_hist_replicated, FftHistConfig,
+};
+use fx_apps::barnes_hut::{bh_forces, make_bodies, BhConfig};
+use fx_apps::qsort::qsort_global;
+use fx_bench::{fft_hist_chain_model, run_fft_hist_dp, run_fft_hist_mapping, paragon};
+use fx_core::{spmd, Cx, Machine, MachineModel};
+use fx_darray::{assign1, DArray1, Dist1, Participation};
+use fx_mapping::{tradeoff_frontier, Mapping, Segment};
+use fx_runtime::Executor;
+
+fn bits(ts: &[f64]) -> Vec<u64> {
+    ts.iter().map(|t| t.to_bits()).collect()
+}
+
+/// Run `f` under the pooled executor (2 workers — fewer than the
+/// processor counts used here, so coroutines genuinely multiplex and
+/// migrate) and under the threaded reference, profiled and unprofiled,
+/// and require bit-identical per-processor virtual times plus identical
+/// traffic counters.
+fn assert_bitwise<R, F>(label: &str, base: &Machine, f: F)
+where
+    R: Send,
+    F: Fn(&mut Cx) -> R + Send + Sync,
+{
+    for profiled in [false, true] {
+        let m = base.clone().with_profiling(profiled);
+        let pooled = spmd(&m.clone().with_executor(Executor::Pooled { workers: 2 }), &f);
+        let threaded = spmd(&m.with_executor(Executor::Threaded), &f);
+        assert_eq!(
+            bits(&pooled.times),
+            bits(&threaded.times),
+            "{label}: virtual times diverged between executors (profiled={profiled})"
+        );
+        assert_eq!(
+            pooled.traffic, threaded.traffic,
+            "{label}: per-processor traffic diverged (profiled={profiled})"
+        );
+        assert_eq!(
+            pooled.undelivered, threaded.undelivered,
+            "{label}: undelivered-message count diverged (profiled={profiled})"
+        );
+        if profiled {
+            let pl: Vec<usize> = pooled.spans.iter().map(|s| s.len()).collect();
+            let tl: Vec<usize> = threaded.spans.iter().map(|s| s.len()).collect();
+            assert_eq!(pl, tl, "{label}: span counts diverged under profiling");
+        }
+    }
+}
+
+/// table1 flavor: the FFT-Hist data-parallel baseline and a replicated
+/// pipelined mapping, the two program shapes every table row compares.
+#[test]
+fn table1_ffthist_dp_and_mapping() {
+    let cfg = FftHistConfig::new(128, 4);
+    assert_bitwise("table1/dp", &paragon(16), move |cx| run_fft_hist_dp(cx, &cfg));
+
+    let mapping =
+        Mapping { modules: 2, segments: vec![Segment { first: 0, last: 2, procs: 8 }] };
+    let mcfg = FftHistConfig::new(128, 6);
+    assert_bitwise("table1/mapping", &paragon(16), move |cx| {
+        run_fft_hist_mapping(cx, &mcfg, &mapping)
+    });
+}
+
+/// fig5 flavor: the pure data-parallel mapping and a pipelined mapping
+/// with unequal stage assignment, as in the paper's mapping pictures.
+#[test]
+fn fig5_mapping_shapes() {
+    let cfg = FftHistConfig::new(128, 5);
+    let dp = Mapping { modules: 1, segments: vec![Segment { first: 0, last: 2, procs: 16 }] };
+    assert_bitwise("fig5/dp-mapping", &paragon(16), move |cx| {
+        run_fft_hist_mapping(cx, &cfg, &dp)
+    });
+
+    let pipelined = Mapping {
+        modules: 1,
+        segments: vec![
+            Segment { first: 0, last: 0, procs: 4 },
+            Segment { first: 1, last: 2, procs: 12 },
+        ],
+    };
+    assert_bitwise("fig5/pipelined", &paragon(16), move |cx| {
+        run_fft_hist_mapping(cx, &cfg, &pipelined)
+    });
+}
+
+/// fig6 flavor: the Airshed model, data-parallel vs task-parallel vs
+/// best-of-both, on a reduced grid.
+#[test]
+fn fig6_airshed_variants() {
+    let cfg = AirshedConfig {
+        gridpoints: 600,
+        layers: 2,
+        species: 4,
+        hours: 2,
+        nsteps: 2,
+        input_seconds: 0.4,
+        output_seconds: 0.3,
+        chem_flops_per_cell: 40.0,
+        trans_flops_per_cell: 10.0,
+    };
+    assert_bitwise("fig6/dp", &paragon(8), move |cx| airshed_dp(cx, &cfg));
+    assert_bitwise("fig6/tp", &paragon(8), move |cx| airshed_tp(cx, &cfg));
+    assert_bitwise("fig6/best", &paragon(8), move |cx| airshed_best(cx, &cfg));
+}
+
+/// ablations flavor: minimal-subset vs whole-group pipeline, the
+/// owner-broadcast scalar loop, and the exact-vs-naive redistribution.
+#[test]
+fn ablations_workloads() {
+    let cfg = FftHistConfig::new(64, 4);
+    for mode in [Participation::Minimal, Participation::WholeGroup] {
+        assert_bitwise("ablations/pipeline", &paragon(12), move |cx| {
+            let sets: Vec<usize> = (0..cfg.datasets).collect();
+            fft_hist_pipeline_mode(cx, &cfg, [4, 4, 4], &sets, mode);
+        });
+    }
+
+    assert_bitwise("ablations/owner-broadcast", &paragon(8), |cx| {
+        let mut acc = 0u64;
+        for i in 0..100u64 {
+            acc = acc.wrapping_add(cx.bcast(0, i));
+        }
+        let _ = acc;
+        cx.now()
+    });
+
+    assert_bitwise("ablations/exact-assign", &paragon(8), |cx| {
+        let g = cx.group();
+        let src = DArray1::new(cx, &g, 4096, Dist1::Block, 1.0f64);
+        let mut dst = DArray1::new(cx, &g, 4096, Dist1::Block, 0.0f64);
+        assign1(cx, &mut dst, &src);
+        cx.now()
+    });
+    assert_bitwise("ablations/naive-alltoall", &paragon(8), |cx| {
+        let g = cx.group();
+        let src = DArray1::new(cx, &g, 4096, Dist1::Block, 1.0f64);
+        let mut dst = DArray1::new(cx, &g, 4096, Dist1::Block, 0.0f64);
+        let p = cx.nprocs();
+        let me = cx.id();
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); p];
+        buckets[me] = src.local().to_vec();
+        let got = cx.alltoallv(buckets);
+        dst.local_mut().copy_from_slice(&got[me]);
+        cx.now()
+    });
+}
+
+/// machines flavor: the same FFT-Hist programs on two machine models —
+/// the calibrated Paragon and a modern low-latency network.
+#[test]
+fn machines_model_sensitivity() {
+    for model in [MachineModel::paragon(), MachineModel::fast_network()] {
+        let cfg = FftHistConfig::new(64, 4);
+        assert_bitwise("machines/dp", &Machine::simulated(16, model), move |cx| {
+            fft_hist_dp(cx, &cfg);
+        });
+        let rcfg = FftHistConfig::new(64, 6);
+        assert_bitwise("machines/replicated", &Machine::simulated(16, model), move |cx| {
+            fft_hist_replicated(cx, &rcfg, 2, None);
+        });
+    }
+}
+
+/// scaling flavor: the dynamically nested applications — quicksort's
+/// recursive group splitting and Barnes-Hut's replicated tree levels.
+#[test]
+fn scaling_nested_applications() {
+    let keys: Vec<i64> =
+        (0..4000).map(|i: i64| i.wrapping_mul(2654435761) % 100_000).collect();
+    assert_bitwise("scaling/qsort", &paragon(8), move |cx| {
+        qsort_global(cx, &keys);
+    });
+
+    let bodies = make_bodies(256, 5);
+    let cfg = BhConfig { n: 256, theta: 0.4, eps: 1e-3, k: 3 };
+    assert_bitwise("scaling/barnes-hut", &paragon(8), move |cx| {
+        bh_forces(cx, &bodies, &cfg);
+    });
+}
+
+/// tradeoff flavor: run both endpoints of the latency-throughput
+/// frontier that the mapping optimizer produces for a small machine.
+#[test]
+fn tradeoff_frontier_endpoints() {
+    let model = fft_hist_chain_model(&FftHistConfig::new(64, 1), &[1, 2, 4, 8, 16]);
+    let frontier = tradeoff_frontier(&model, 16);
+    assert!(!frontier.is_empty(), "frontier must be non-empty");
+    for (label, point) in [
+        ("tradeoff/latency-optimal", frontier.first().unwrap()),
+        ("tradeoff/throughput-optimal", frontier.last().unwrap()),
+    ] {
+        let cfg = FftHistConfig::new(64, (2 * point.mapping.modules).max(6));
+        let mapping = point.mapping.clone();
+        assert_bitwise(label, &paragon(16), move |cx| {
+            run_fft_hist_mapping(cx, &cfg, &mapping)
+        });
+    }
+}

@@ -9,8 +9,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::coro::{YieldKind, Yielder};
 use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
+use crate::pool::Pool;
 use crate::payload::{erase, unerase, BufferPool, Chunk, MsgBody, Payload};
 use crate::span::{Span, SpanKind, SpanLog};
 use crate::telemetry::{ProcShard, Telemetry};
@@ -29,10 +31,29 @@ pub(crate) struct World {
     pub telemetry: Option<Arc<Telemetry>>,
 }
 
+/// How this processor's blocking points are implemented: by parking the
+/// dedicated OS thread (threaded executor) or by suspending the
+/// processor's coroutine back into the worker-pool scheduler (pooled
+/// executor). Everything above the blocking points — matching, FIFO
+/// order, virtual-time accounting — is shared, which is what makes the
+/// two executors bit-identical in virtual time.
+pub(crate) enum ExecCtx {
+    /// One dedicated OS thread; blocking parks on the lane condvar.
+    Thread,
+    /// Coroutine multiplexed on the worker pool; blocking suspends.
+    Pooled {
+        pool: Arc<Pool>,
+        proc: usize,
+        yielder: Yielder,
+    },
+}
+
 /// Execution context of one physical processor (one per SPMD thread).
 pub struct ProcCtx {
     rank: usize,
     world: Arc<World>,
+    /// Blocking/yield strategy (threaded vs pooled executor).
+    exec: ExecCtx,
     /// Virtual clock (seconds). Unused in real-time mode.
     clock: f64,
     /// Wall-clock start, for real-time mode.
@@ -72,11 +93,21 @@ pub struct ProcCtx {
 
 impl ProcCtx {
     pub(crate) fn new(rank: usize, world: Arc<World>, start: Instant) -> Self {
+        Self::new_with_exec(rank, world, start, ExecCtx::Thread)
+    }
+
+    pub(crate) fn new_with_exec(
+        rank: usize,
+        world: Arc<World>,
+        start: Instant,
+        exec: ExecCtx,
+    ) -> Self {
         let profile = world.profile && world.mode.is_simulated();
         let tl = world.telemetry.as_ref().map(|t| t.shard(rank));
         ProcCtx {
             rank,
             world,
+            exec,
             clock: 0.0,
             start,
             events: EventLog::default(),
@@ -352,8 +383,13 @@ impl ProcCtx {
             // post-mortem flight dump wants to show.
             sh.begin_wait(src, tag);
         }
-        let env =
-            self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout);
+        let env = match &self.exec {
+            ExecCtx::Thread => {
+                self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout)
+            }
+            ExecCtx::Pooled { pool, proc, yielder } => self.world.mailboxes[self.rank]
+                .take_pooled(src, tag, self.rank, self.world.recv_timeout, pool, *proc, yielder),
+        };
         let waited = t0.elapsed().as_nanos() as u64;
         self.host.recv_wait_ns += waited;
         if let Some(sh) = &self.tl {
@@ -400,8 +436,32 @@ impl ProcCtx {
     }
 
     /// True if a message from `src` with `tag` is already deposited.
+    ///
+    /// A negative probe yields this processor (see [`ProcCtx::yield_now`]):
+    /// probe-driven poll loops would otherwise spin a pool worker forever
+    /// and starve the very sender they are polling for when processors
+    /// outnumber workers.
     pub fn probe(&self, src: usize, tag: u64) -> bool {
-        self.world.mailboxes[self.rank].probe(src, tag)
+        let found = self.world.mailboxes[self.rank].probe(src, tag);
+        if !found {
+            if let ExecCtx::Pooled { yielder, .. } = &self.exec {
+                yielder.suspend(YieldKind::Yielded);
+            }
+        }
+        found
+    }
+
+    /// Let other runnable processors use this processor's execution
+    /// resource: the OS scheduler's `yield_now` under the threaded
+    /// executor, a cooperative reschedule (to the back of the run queue)
+    /// under the pooled one. Poll loops must call this — under the pooled
+    /// executor a spinning processor otherwise occupies a worker that the
+    /// peer it is waiting for may need.
+    pub fn yield_now(&self) {
+        match &self.exec {
+            ExecCtx::Thread => std::thread::yield_now(),
+            ExecCtx::Pooled { yielder, .. } => yielder.suspend(YieldKind::Yielded),
+        }
     }
 
     /// Mark an event at the current time on this processor's log.

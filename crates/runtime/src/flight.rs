@@ -156,7 +156,10 @@ impl FlightRing {
         self.head.load(Ordering::Acquire)
     }
 
-    /// Append an event. Called only by the owning processor's thread.
+    /// Append an event. Called only by the owning processor — one writer
+    /// at a time by construction under either executor (the pooled
+    /// scheduler serializes a processor's execution across the workers
+    /// it migrates over, with its queue locks ordering the handoff).
     #[inline]
     pub fn push(&self, ev: RawEvent) {
         let h = self.head.load(Ordering::Relaxed);

@@ -27,6 +27,7 @@
 //! subgroups, task regions and group collectives; `fx-darray` adds
 //! HPF-style distributed arrays.
 
+mod coro;
 mod critical;
 mod ctx;
 mod flight;
@@ -35,6 +36,7 @@ mod http;
 mod mailbox;
 mod model;
 mod payload;
+mod pool;
 mod run;
 mod span;
 mod stall;
@@ -48,7 +50,7 @@ pub use flight::{FlightEvent, FlightKind};
 pub use http::TelemetryServer;
 pub use model::{MachineModel, TimeMode};
 pub use payload::{Chunk, Payload};
-pub use run::{run, Machine, RunReport};
+pub use run::{run, Executor, Machine, RunReport};
 pub use span::{Span, SpanAccounting, SpanKind, SpanLog};
 pub use stall::{StallReport, StalledProc};
 pub use telemetry::{ProcTotals, Telemetry, TelemetryConfig, TelemetrySnapshot};

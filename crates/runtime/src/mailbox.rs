@@ -7,21 +7,54 @@
 //! which — together with the absence of a wildcard source — makes virtual
 //! time fully deterministic.
 //!
-//! The mailbox is **sharded by sender**: one lane (mutex + condvar +
-//! tag-keyed queues) per source rank, so concurrent senders depositing
-//! into the same receiver never contend on a shared lock. The receiver
-//! always knows which source it is waiting on (there is no wildcard
-//! receive), so it blocks on exactly that lane's condvar. Sharding is a
-//! host-side throughput optimization only: message matching, FIFO order
-//! per `(src, tag)`, and the deadlock watchdog are unchanged.
+//! The mailbox is **sharded by sender**: one lane (mutex + tag-keyed
+//! queues) per source rank, so concurrent senders depositing into the
+//! same receiver never contend on a shared lock. The receiver always
+//! knows which source it is waiting on (there is no wildcard receive),
+//! so it waits on exactly that lane. Sharding is a host-side throughput
+//! optimization only: message matching, FIFO order per `(src, tag)`, and
+//! the deadlock watchdog are unchanged.
+//!
+//! ## Dual wakeup protocol
+//!
+//! How a waiting receiver learns that a deposit (or poison) landed
+//! depends on the executor that owns the mailbox:
+//!
+//! * **Threaded** ([`Mailbox::new`]): each lane carries a condvar. `take`
+//!   parks the receiver's dedicated OS thread on the lane it matches;
+//!   `deposit` does `notify_one` after releasing the lane lock (each
+//!   mailbox has exactly one consumer, so one notify suffices); `poison`
+//!   locks each lane and `notify_all`s so the flag is seen no matter
+//!   which lane the receiver is parked on. This path is the original
+//!   seed behaviour, unchanged.
+//!
+//! * **Pooled** ([`Mailbox::new_pooled`]): no condvars exist at all —
+//!   the owning processor is a coroutine, and parking a worker thread on
+//!   its behalf would defeat the pool. Instead the receiver *registers*
+//!   the tag it needs in the lane (`waiting_tag`, written under the lane
+//!   lock) and suspends into the scheduler; a deposit that matches the
+//!   registered tag clears it and wakes the owning processor through
+//!   [`Pool::wake`]. Registration-under-lock closes the race with a
+//!   concurrent deposit: the depositor either sees the registration (and
+//!   wakes) or deposited before it (and the receiver's pre-suspend
+//!   re-check finds the message). `poison` sets the flag, bumps each
+//!   lane's lock (so a registering receiver is past its flag check or
+//!   not yet suspended-committed), and wakes the owner unconditionally.
+//!   Recv timeouts cannot use `Condvar::wait_for` here; the pool's
+//!   watchdog thread latches a `timed_out` flag and wakes the processor,
+//!   which re-checks its lane and raises the *same* deadlock diagnostic
+//!   as the threaded path.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::coro::{YieldKind, Yielder};
 use crate::payload::MsgBody;
+use crate::pool::Pool;
 
 /// A message at rest in a mailbox.
 pub(crate) struct Envelope {
@@ -78,28 +111,65 @@ struct LaneState {
     queues: HashMap<u64, VecDeque<Envelope>>,
     /// Payload bytes deposited on this lane so far (host observability).
     bytes: u64,
+    /// Pooled mode only: the tag the owning processor is suspended on
+    /// (`None` when it is not waiting on this lane). Written by the
+    /// receiver under the lane lock before suspending; cleared by the
+    /// matching deposit (which then wakes the owner) or by the receiver
+    /// itself on a successful pop. Always `None` in threaded mode.
+    waiting_tag: Option<u64>,
 }
 
 /// One sender's shard of a mailbox.
-#[derive(Default)]
 struct Lane {
     state: Mutex<LaneState>,
-    cvar: Condvar,
+    /// `Some` in threaded mode only. Pooled mailboxes allocate no condvar
+    /// and never notify one: lane wakeups go through the scheduler.
+    cvar: Option<Condvar>,
+}
+
+impl Lane {
+    fn new(threaded: bool) -> Self {
+        Lane {
+            state: Mutex::new(LaneState::default()),
+            cvar: threaded.then(Condvar::new),
+        }
+    }
+}
+
+/// How deposits into this mailbox wake its (single) waiting consumer.
+enum WakePolicy {
+    /// Threaded executor: notify the lane condvar.
+    Condvar,
+    /// Pooled executor: wake the owning processor through the scheduler.
+    Pool { pool: Arc<Pool>, owner: usize },
 }
 
 /// Mailbox of one physical processor: one lane per possible sender.
 pub(crate) struct Mailbox {
     lanes: Vec<Lane>,
+    wake: WakePolicy,
     /// Set when some processor panicked: everyone blocked here must unwind
     /// too so the whole run fails instead of hanging.
     poisoned: AtomicBool,
 }
 
 impl Mailbox {
-    /// A mailbox able to receive from `nprocs` senders (including self).
+    /// A mailbox able to receive from `nprocs` senders (including self),
+    /// for the threaded executor: per-lane condvar wakeups.
     pub fn new(nprocs: usize) -> Self {
         Mailbox {
-            lanes: (0..nprocs).map(|_| Lane::default()).collect(),
+            lanes: (0..nprocs).map(|_| Lane::new(true)).collect(),
+            wake: WakePolicy::Condvar,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// A mailbox owned by pooled processor `owner`: no condvars; deposits
+    /// wake the owner through `pool`'s scheduler.
+    pub fn new_pooled(nprocs: usize, owner: usize, pool: Arc<Pool>) -> Self {
+        Mailbox {
+            lanes: (0..nprocs).map(|_| Lane::new(false)).collect(),
+            wake: WakePolicy::Pool { pool, owner },
             poisoned: AtomicBool::new(false),
         }
     }
@@ -126,10 +196,26 @@ impl Mailbox {
             Some(st) => (st, false),
             None => (lane.state.lock(), true),
         };
+        let tag = env.tag;
         st.bytes += env.nbytes as u64;
-        st.queues.entry(env.tag).or_default().push_back(env);
+        st.queues.entry(tag).or_default().push_back(env);
+        // Pooled mode: consume a matching wait registration under the
+        // lane lock, then wake the owner through the scheduler.
+        let wake_owner = st.waiting_tag == Some(tag) && {
+            st.waiting_tag = None;
+            true
+        };
         drop(st);
-        lane.cvar.notify_one();
+        match &self.wake {
+            WakePolicy::Condvar => {
+                lane.cvar.as_ref().expect("threaded lane has a condvar").notify_one();
+            }
+            WakePolicy::Pool { pool, owner } => {
+                if wake_owner {
+                    pool.wake(*owner);
+                }
+            }
+        }
         contended
     }
 
@@ -141,6 +227,7 @@ impl Mailbox {
     /// pipeline shows at a glance what *is* pending and from whom.
     pub fn take(&self, src: usize, tag: u64, me: usize, timeout: Duration) -> Envelope {
         let lane = &self.lanes[src];
+        let cvar = lane.cvar.as_ref().expect("Mailbox::take on a pooled mailbox");
         let mut st = lane.state.lock();
         loop {
             if self.poisoned.load(Ordering::Acquire) {
@@ -151,8 +238,62 @@ impl Mailbox {
                     return env;
                 }
             }
-            if lane.cvar.wait_for(&mut st, timeout).timed_out() {
+            if cvar.wait_for(&mut st, timeout).timed_out() {
                 drop(st);
+                let pending = self.depth_snapshot();
+                panic!(
+                    "processor {me}: recv(src={src}, tag={tag:#x}) timed out after \
+                     {timeout:?} — likely deadlock. Pending per (src, tag) with depth \
+                     and oldest-message age: {pending:?}"
+                );
+            }
+        }
+    }
+
+    /// Pooled-executor counterpart of [`Mailbox::take`]: same matching,
+    /// FIFO order, poison check and timeout diagnostic, but blocking
+    /// suspends the calling coroutine into `pool`'s scheduler instead of
+    /// parking an OS thread (see the module header for the protocol).
+    #[allow(clippy::too_many_arguments)]
+    pub fn take_pooled(
+        &self,
+        src: usize,
+        tag: u64,
+        me: usize,
+        timeout: Duration,
+        pool: &Pool,
+        proc: usize,
+        yielder: &Yielder,
+    ) -> Envelope {
+        let lane = &self.lanes[src];
+        loop {
+            {
+                let mut st = lane.state.lock();
+                if self.poisoned.load(Ordering::Acquire) {
+                    panic!("processor {me}: aborting recv, another processor panicked");
+                }
+                if let Some(q) = st.queues.get_mut(&tag) {
+                    if let Some(env) = q.pop_front() {
+                        st.waiting_tag = None;
+                        drop(st);
+                        // Drop any stale watchdog latch: the message won.
+                        pool.clear_timeout(proc);
+                        return env;
+                    }
+                }
+                // Register the wait under the lane lock, so a concurrent
+                // deposit either sees it (and wakes us) or already
+                // enqueued (and the next loop iteration pops it).
+                st.waiting_tag = Some(tag);
+            }
+            yielder.suspend(YieldKind::Blocked);
+            // Woken: matching deposit, poison, or the watchdog. The loop
+            // re-checks the lane first — progress wins over a timeout that
+            // raced a late delivery.
+            if pool.take_timed_out(proc)
+                && !self.probe(src, tag)
+                && !self.poisoned.load(Ordering::Acquire)
+            {
                 let pending = self.depth_snapshot();
                 panic!(
                     "processor {me}: recv(src={src}, tag={tag:#x}) timed out after \
@@ -177,9 +318,24 @@ impl Mailbox {
     /// notified).
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
-        for lane in &self.lanes {
-            drop(lane.state.lock());
-            lane.cvar.notify_all();
+        match &self.wake {
+            WakePolicy::Condvar => {
+                for lane in &self.lanes {
+                    drop(lane.state.lock());
+                    lane.cvar.as_ref().expect("threaded lane has a condvar").notify_all();
+                }
+            }
+            WakePolicy::Pool { pool, owner } => {
+                // Bump every lane lock: a receiver inside take_pooled is
+                // then either past its flag check holding the lock (and
+                // will suspend → our wake reaches it, or its park aborts
+                // on the latched NOTIFY) or will re-check and see the
+                // flag. Then wake the single owner unconditionally.
+                for lane in &self.lanes {
+                    drop(lane.state.lock());
+                }
+                pool.wake(*owner);
+            }
         }
     }
 

@@ -1,21 +1,92 @@
 //! Launching SPMD programs on the simulated multicomputer.
 
+use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::coro;
 use crate::ctx::{ProcCtx, World};
 use crate::mailbox::Mailbox;
 use crate::model::{MachineModel, TimeMode};
+use crate::pool::{self, Pool};
 use crate::span::SpanLog;
 use crate::stall;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::trace::{EventLog, HostStats, PlanStats};
 
+/// How simulated processors are mapped onto OS threads.
+///
+/// Either executor produces **bit-identical virtual-time results**:
+/// virtual clocks are per-processor state coupled only through message
+/// causality, and matching is FIFO per `(src, tag)` with no wildcard
+/// receive, so host scheduling order cannot leak into simulated time.
+/// The choice only affects host wall-clock and resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// One dedicated OS thread per simulated processor — the reference
+    /// executor (and the only option for `P` real-time processors that
+    /// genuinely need preemptive parallelism). At P ≫ cores it drowns in
+    /// thread stacks and kernel context switches.
+    Threaded,
+    /// Each processor is a stackful coroutine multiplexed onto a fixed
+    /// pool of `workers` OS threads with per-worker run queues and work
+    /// stealing; blocking receives suspend into the scheduler. `workers
+    /// == 0` means auto (`available_parallelism`). The default for
+    /// simulated machines.
+    Pooled {
+        /// Worker threads (0 = number of host CPUs).
+        workers: usize,
+    },
+}
+
+impl Executor {
+    /// The pooled executor with automatic worker count.
+    pub fn pooled() -> Self {
+        Executor::Pooled { workers: 0 }
+    }
+
+    /// Apply the `FX_EXECUTOR` (`threaded`/`pooled`) and `FX_WORKERS`
+    /// environment overrides on top of a mode-specific default.
+    fn from_env(default: Executor) -> Executor {
+        let env_workers = std::env::var("FX_WORKERS").ok().and_then(|s| s.parse::<usize>().ok());
+        match std::env::var("FX_EXECUTOR").as_deref() {
+            Ok("threaded") => Executor::Threaded,
+            Ok("pooled") => Executor::Pooled { workers: env_workers.unwrap_or(0) },
+            _ => match default {
+                Executor::Pooled { workers } => {
+                    Executor::Pooled { workers: env_workers.unwrap_or(workers) }
+                }
+                Executor::Threaded => Executor::Threaded,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Executor::Threaded => write!(f, "threaded"),
+            Executor::Pooled { workers: 0 } => write!(f, "pooled(auto)"),
+            Executor::Pooled { workers } => write!(f, "pooled({workers})"),
+        }
+    }
+}
+
+/// Deadlock-watchdog default: `FX_RECV_TIMEOUT_MS` if set, else 60 s.
+/// An explicit [`Machine::with_timeout`] always wins.
+fn default_recv_timeout() -> Duration {
+    std::env::var("FX_RECV_TIMEOUT_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(60))
+}
+
 /// Configuration of one machine instance.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    /// Number of physical processors (threads).
+    /// Number of simulated processors.
     pub nprocs: usize,
     /// Real or simulated time.
     pub mode: TimeMode,
@@ -28,6 +99,11 @@ pub struct Machine {
     /// Live telemetry registry (see [`crate::Telemetry`]). Host-side
     /// only: enabling it never changes virtual times.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// How processors map onto OS threads (defaults: pooled for
+    /// simulated machines, threaded for real-time ones; `FX_EXECUTOR`
+    /// and `FX_WORKERS` override the default, an explicit
+    /// [`Machine::with_executor`] overrides everything).
+    pub executor: Executor,
 }
 
 impl Machine {
@@ -36,9 +112,10 @@ impl Machine {
         Machine {
             nprocs,
             mode: TimeMode::Simulated(model),
-            recv_timeout: Duration::from_secs(60),
+            recv_timeout: default_recv_timeout(),
             profile: false,
             telemetry: None,
+            executor: Executor::from_env(Executor::pooled()),
         }
     }
 
@@ -47,15 +124,23 @@ impl Machine {
         Machine {
             nprocs,
             mode: TimeMode::Real,
-            recv_timeout: Duration::from_secs(60),
+            recv_timeout: default_recv_timeout(),
             profile: false,
             telemetry: None,
+            executor: Executor::from_env(Executor::Threaded),
         }
     }
 
     /// Override the deadlock watchdog timeout.
     pub fn with_timeout(mut self, t: Duration) -> Self {
         self.recv_timeout = t;
+        self
+    }
+
+    /// Pin the executor, overriding both the mode default and the
+    /// `FX_EXECUTOR`/`FX_WORKERS` environment.
+    pub fn with_executor(mut self, e: Executor) -> Self {
+        self.executor = e;
         self
     }
 
@@ -206,11 +291,30 @@ where
     F: Fn(&mut ProcCtx) -> R + Send + Sync,
 {
     assert!(machine.nprocs >= 1, "machine needs at least one processor");
+    // Resolve the effective executor: auto worker counts become concrete,
+    // and targets without a coroutine backend fall back to threads.
+    let pool = match machine.executor {
+        Executor::Pooled { workers } if coro::SUPPORTED => {
+            let workers = if workers == 0 {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            } else {
+                workers
+            };
+            let workers = workers.clamp(1, machine.nprocs);
+            Some(Pool::new(machine.nprocs, workers, machine.recv_timeout))
+        }
+        _ => None,
+    };
     let telemetry = machine.telemetry.clone();
     let world = Arc::new(World {
         nprocs: machine.nprocs,
         mode: machine.mode,
-        mailboxes: (0..machine.nprocs).map(|_| Mailbox::new(machine.nprocs)).collect(),
+        mailboxes: (0..machine.nprocs)
+            .map(|rank| match &pool {
+                Some(p) => Mailbox::new_pooled(machine.nprocs, rank, Arc::clone(p)),
+                None => Mailbox::new(machine.nprocs),
+            })
+            .collect(),
         recv_timeout: machine.recv_timeout,
         profile: machine.profile,
         telemetry: telemetry.clone(),
@@ -219,78 +323,46 @@ where
     if let Some(t) = &telemetry {
         t.begin_run(machine.nprocs, start, &world);
     }
-    // The stall sampler lives exactly as long as the worker scope: the
-    // guard joins it on drop even when a worker panic unwinds past us.
+    // The stall sampler lives exactly as long as the execution: the guard
+    // joins it on drop even when the propagated panic unwinds past us.
     let stall_guard = telemetry
         .as_ref()
         .filter(|t| t.config().stall)
         .map(|t| stall::spawn(Arc::clone(t), Arc::clone(&world), start));
 
-    let mut outcomes: Vec<Option<ProcOutcome<R>>> = (0..machine.nprocs).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(machine.nprocs);
-        for rank in 0..machine.nprocs {
-            let world = Arc::clone(&world);
-            let telemetry = telemetry.clone();
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut cx = ProcCtx::new(rank, Arc::clone(&world), start);
-                let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
-                match r {
-                    Ok(value) => {
-                        let (time, events, msgs, bytes, plans, host, spans) = cx.into_parts();
-                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host, spans })
-                    }
-                    Err(payload) => {
-                        // Unblock everyone else before reporting.
-                        for mb in &world.mailboxes {
-                            mb.poison();
-                        }
-                        // Black-box readout: dump this processor's flight
-                        // ring, unless it is a secondary poison panic (the
-                        // root cause already dumped its own).
-                        if let Some(t) = &telemetry {
-                            let secondary = payload
-                                .downcast_ref::<String>()
-                                .is_some_and(|s| s.contains("another processor panicked"));
-                            if !secondary {
-                                eprintln!(
-                                    "[fx-telemetry] processor {rank} panicked; flight recorder:\n{}",
-                                    flight_text(t, rank)
-                                );
-                            }
-                        }
-                        Err(payload)
-                    }
-                }
-            }));
-        }
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        let mut poison_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for (rank, h) in handles.into_iter().enumerate() {
-            match h.join().expect("SPMD worker thread died outside catch_unwind") {
-                Ok(out) => outcomes[rank] = Some(out),
-                Err(p) => {
-                    // Prefer reporting the root-cause panic over the
-                    // poison-induced secondary ones.
-                    let is_secondary = p
-                        .downcast_ref::<String>()
-                        .is_some_and(|s| s.contains("another processor panicked"));
-                    if is_secondary {
-                        poison_panic.get_or_insert(p);
-                    } else if first_panic.is_none() {
-                        first_panic = Some(p);
-                    }
+    let raw = match &pool {
+        Some(p) => pool::execute(p, &world, &telemetry, start, &f),
+        None => run_threaded(machine.nprocs, &world, &telemetry, start, &f),
+    };
+
+    // Tear down the stall sampler before (possibly) re-raising a panic.
+    drop(stall_guard);
+
+    // Prefer reporting the root-cause panic over the poison-induced
+    // secondary ones, scanning in rank order like the threaded join loop
+    // always has.
+    let mut outcomes: Vec<Option<ProcOutcome<R>>> = Vec::with_capacity(machine.nprocs);
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    let mut poison_panic: Option<Box<dyn Any + Send>> = None;
+    for slot in raw {
+        match slot.expect("SPMD processor finished without reporting an outcome") {
+            Ok(out) => outcomes.push(Some(out)),
+            Err(p) => {
+                outcomes.push(None);
+                let is_secondary = p
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("another processor panicked"));
+                if is_secondary {
+                    poison_panic.get_or_insert(p);
+                } else if first_panic.is_none() {
+                    first_panic = Some(p);
                 }
             }
         }
-        // Tear down the stall sampler before leaving the scope (also runs
-        // when resume_unwind below unwinds, since the guard is owned here).
-        drop(stall_guard);
-        if let Some(p) = first_panic.or(poison_panic) {
-            resume_unwind(p);
-        }
-    });
+    }
+    if let Some(p) = first_panic.or(poison_panic) {
+        resume_unwind(p);
+    }
 
     let undelivered = world.mailboxes.iter().map(Mailbox::undelivered).sum();
     let mut results = Vec::with_capacity(machine.nprocs);
@@ -326,9 +398,68 @@ where
     }
 }
 
+/// The reference executor: one dedicated OS thread per simulated
+/// processor. Each thread runs the same harness the pooled executor's
+/// coroutines run (catch panics, poison mailboxes, dump the flight
+/// recorder) and its result is collected in rank order.
+fn run_threaded<R, F>(
+    nprocs: usize,
+    world: &Arc<World>,
+    telemetry: &Option<Arc<Telemetry>>,
+    start: Instant,
+    f: &F,
+) -> RawOutcomes<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Send + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for rank in 0..nprocs {
+            let world = Arc::clone(world);
+            let telemetry = telemetry.clone();
+            handles.push(scope.spawn(move || {
+                let mut cx = ProcCtx::new(rank, Arc::clone(&world), start);
+                let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
+                match r {
+                    Ok(value) => {
+                        let (time, events, msgs, bytes, plans, host, spans) = cx.into_parts();
+                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host, spans })
+                    }
+                    Err(payload) => {
+                        // Unblock everyone else before reporting.
+                        for mb in &world.mailboxes {
+                            mb.poison();
+                        }
+                        // Black-box readout: dump this processor's flight
+                        // ring, unless it is a secondary poison panic (the
+                        // root cause already dumped its own).
+                        if let Some(t) = &telemetry {
+                            let secondary = payload
+                                .downcast_ref::<String>()
+                                .is_some_and(|s| s.contains("another processor panicked"));
+                            if !secondary {
+                                eprintln!(
+                                    "[fx-telemetry] processor {rank} panicked; flight recorder:\n{}",
+                                    flight_text(t, rank)
+                                );
+                            }
+                        }
+                        Err(payload)
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("SPMD worker thread died outside catch_unwind")))
+            .collect()
+    })
+}
+
 /// One processor's flight-recorder readout with its blocked-receive state,
 /// for the on-panic stderr dump.
-fn flight_text(t: &Telemetry, rank: usize) -> String {
+pub(crate) fn flight_text(t: &Telemetry, rank: usize) -> String {
     let events = t.flight_events(rank);
     if events.is_empty() {
         return "  (no events recorded)\n".to_string();
@@ -340,15 +471,22 @@ fn flight_text(t: &Telemetry, rank: usize) -> String {
     out
 }
 
-struct ProcOutcome<R> {
-    value: R,
-    time: f64,
-    events: EventLog,
-    msgs: u64,
-    bytes: u64,
-    plans: PlanStats,
-    host: HostStats,
-    spans: SpanLog,
+/// Per-rank results of an execution: the processor's outcome, or the
+/// panic payload it died with. `None` only on abnormal teardown paths
+/// that are about to re-raise a panic anyway.
+pub(crate) type RawOutcomes<R> = Vec<Option<Result<ProcOutcome<R>, Box<dyn Any + Send>>>>;
+
+/// Everything one processor's harness hands back to the run for report
+/// assembly, whichever executor ran it.
+pub(crate) struct ProcOutcome<R> {
+    pub(crate) value: R,
+    pub(crate) time: f64,
+    pub(crate) events: EventLog,
+    pub(crate) msgs: u64,
+    pub(crate) bytes: u64,
+    pub(crate) plans: PlanStats,
+    pub(crate) host: HostStats,
+    pub(crate) spans: SpanLog,
 }
 
 #[cfg(test)]

@@ -15,6 +15,13 @@
 //! Reports land in the [`crate::Telemetry`] handle, so they are readable
 //! while the run executes (e.g. via the scrape endpoint) and survive a
 //! run that dies to the watchdog panic.
+//!
+//! All diagnostics here are keyed by **processor id**, never by thread
+//! identity: progress counters, wait edges and queue snapshots live in
+//! per-processor shards indexed by rank. That is what keeps
+//! who-blocks-on-whom dumps correct under the pooled executor, where
+//! many processors share (and migrate between) a few worker threads and
+//! a thread id means nothing.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -55,9 +55,15 @@ impl Default for Histogram {
 
 /// Single-writer counter increment: a relaxed load+store pair instead of
 /// a locked read-modify-write. Every hot-path counter in a [`ProcShard`]
-/// is written only by its owning processor thread, so the unlocked form
-/// is exact — and roughly 3× cheaper than `fetch_add` on x86, which is
-/// what keeps telemetry-on inside the <5% overhead budget.
+/// is written only by its owning *processor* — an invariant about the
+/// simulated processor, not about OS-thread identity. Under the threaded
+/// executor the two coincide; under the pooled executor the processor
+/// may migrate between worker threads, but only at suspension points,
+/// and the scheduler's run-queue locks establish happens-before between
+/// the worker that wrote last and the worker that resumes next — so
+/// writes never race and the unlocked form stays exact. It is roughly 3×
+/// cheaper than `fetch_add` on x86, which is what keeps telemetry-on
+/// inside the <5% overhead budget.
 #[inline]
 fn bump(a: &AtomicU64, v: u64) {
     a.store(a.load(Ordering::Relaxed).wrapping_add(v), Ordering::Relaxed);
@@ -90,10 +96,12 @@ impl Histogram {
 }
 
 /// One processor's shard of the registry: plain relaxed atomics, written
-/// only by the owning SPMD thread, read by exporters and the stall
-/// sampler. Counter semantics mirror [`crate::HostStats`] exactly so the
-/// two reconcile after a run. Cache-line aligned so neighbouring shards
-/// (separate allocations, but allocator-adjacent) never false-share.
+/// only by the owning simulated processor (whichever worker thread is
+/// currently running it — see [`bump`] for why migration is safe), read
+/// by exporters and the stall sampler. Counter semantics mirror
+/// [`crate::HostStats`] exactly so the two reconcile after a run.
+/// Cache-line aligned so neighbouring shards (separate allocations, but
+/// allocator-adjacent) never false-share.
 #[repr(align(64))]
 pub(crate) struct ProcShard {
     pub sends: AtomicU64,

@@ -246,3 +246,98 @@ fn undelivered_messages_are_reported() {
     });
     assert_eq!(rep.undelivered, 1);
 }
+
+// --- The same failure modes under the pooled coroutine executor. ---
+//
+// Blocked processors here are suspended coroutines, not parked OS
+// threads, so poison and watchdog wakeups travel through the pool
+// scheduler instead of condvars. The observable behaviour must not
+// change: same panics, same messages, same diagnostics keyed by
+// processor id.
+
+/// The watchdog kills a deadlocked run when the receiver is a suspended
+/// coroutine and the only worker thread is free to run the watchdog's
+/// victim again for its post-wake recheck.
+#[test]
+fn deadlock_watchdog_fires_pooled() {
+    use fx::runtime::Executor;
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_millis(200))
+        .with_executor(Executor::Pooled { workers: 1 });
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                let _: u64 = cx.recv(1, 42); // never sent
+            }
+        })
+    }))
+    .expect_err("deadlock must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("timed out") || msg.contains("another processor panicked"), "got: {msg}");
+}
+
+/// Poison unwedges peers whose coroutines are suspended in a collective,
+/// and the original panic message still wins the propagation race.
+#[test]
+fn peer_panic_unblocks_waiters_pooled() {
+    use fx::runtime::Executor;
+    let machine = Machine::real(3)
+        .with_timeout(Duration::from_secs(30))
+        .with_executor(Executor::Pooled { workers: 1 });
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(&machine, |cx| {
+            if cx.id() == 0 {
+                panic!("injected failure on processor zero");
+            }
+            // Everyone else waits on a collective that can never complete.
+            cx.barrier();
+        })
+    }))
+    .expect_err("peer panic must propagate");
+    let msg = panic_message(err);
+    assert!(msg.contains("injected failure"), "got: {msg}");
+}
+
+/// The stall detector's who-blocks-on-whom diagnosis is keyed by
+/// processor id, so it names the same wait edges when both deadlocked
+/// processors are coroutines sharing one worker thread.
+#[test]
+fn stall_detector_diagnoses_deadlocked_exchange_pooled() {
+    use fx::runtime::{Executor, Telemetry, TelemetryConfig};
+    use std::sync::Arc;
+
+    let telemetry = Arc::new(Telemetry::with_config(TelemetryConfig {
+        stall_window: Duration::from_millis(250),
+        stall_sample_every: Duration::from_millis(25),
+        ..TelemetryConfig::default()
+    }));
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_secs(2))
+        .with_executor(Executor::Pooled { workers: 1 })
+        .with_telemetry(Arc::clone(&telemetry));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                let _: u64 = cx.recv(1, 7); // 1 never sends tag 7
+            } else {
+                let _: u64 = cx.recv(0, 9); // 0 never sends tag 9
+            }
+        })
+    }))
+    .expect_err("the deadlock watchdog must eventually kill the run");
+    let msg = panic_message(err);
+    assert!(msg.contains("timed out") || msg.contains("another processor panicked"), "got: {msg}");
+
+    let reports = telemetry.stall_reports();
+    assert!(!reports.is_empty(), "stall detector fired before the watchdog");
+    let all: String = reports.iter().map(|r| r.to_string()).collect();
+    assert!(
+        all.contains("recv(src=1, tag=0x7)"),
+        "report must name processor 0's wait edge, got:\n{all}"
+    );
+    assert!(
+        all.contains("recv(src=0, tag=0x9)"),
+        "report must name processor 1's wait edge, got:\n{all}"
+    );
+    assert!(all.contains("[cycle]"), "mutual wait must be flagged as a cycle, got:\n{all}");
+}

@@ -1,0 +1,56 @@
+//! The acceptance test for "simulated processors are decoupled from OS
+//! threads": a P = 1024 run on the pooled executor must complete on a
+//! small, fixed worker pool instead of spawning a thread per processor.
+//!
+//! The check reads the kernel's own thread count for this process
+//! (`Threads:` in /proc/self/status) from inside the run, at a point
+//! where all 1024 processors exist concurrently (none has finished, all
+//! are live coroutines). Under the old executor this number would be
+//! ≥ 1024; under the pooled executor it is the worker count plus a
+//! handful of service threads (watchdog, stall sampler, test harness).
+
+use fx_core::spmd;
+use fx_runtime::{Executor, Machine, MachineModel};
+
+/// Current OS-thread count of this process, from /proc/self/status.
+/// Linux-only, like the coroutine executor itself.
+fn os_thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+#[test]
+#[cfg_attr(not(target_os = "linux"), ignore = "reads /proc; pooled executor is Linux-only")]
+fn p1024_runs_on_fixed_worker_pool() {
+    const P: usize = 1024;
+    let machine = Machine::simulated(P, MachineModel::paragon())
+        .with_executor(Executor::Pooled { workers: 2 });
+    let rep = spmd(&machine, |cx| {
+        // A full ring exchange: every processor blocks in recv at least
+        // once, so all 1024 coroutines are simultaneously live (started,
+        // not finished) when the ring closes through rank 0.
+        let p = cx.nprocs();
+        let right = (cx.id() + 1) % p;
+        let left = (cx.id() + p - 1) % p;
+        cx.send_v(right, 1, cx.id() as u64);
+        let v: u64 = cx.recv_v(left, 1);
+        // Rank 0 samples the thread count mid-run, after the ring has
+        // proven every peer was created.
+        let threads = if cx.id() == 0 { os_thread_count() } else { 0 };
+        (v, threads)
+    });
+    let threads_mid_run = rep.results[0].1;
+    assert!(
+        threads_mid_run < 32,
+        "expected a fixed small worker pool, but the process had {threads_mid_run} OS threads \
+         during a P={P} pooled run (a thread-per-processor executor would show ≥ {P})"
+    );
+    // And the run itself was correct.
+    for (rank, (v, _)) in rep.results.iter().enumerate() {
+        assert_eq!(*v as usize, (rank + P - 1) % P);
+    }
+}

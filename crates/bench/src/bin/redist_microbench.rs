@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use fx_core::GroupHandle;
+use fx_core::Machine;
 use fx_darray::plan::{
     copy_seg_runs, pack_seg_runs, unpack_seg_runs, CommSets1, Plan1, Side1,
 };
@@ -162,7 +163,15 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n  \"bench\": \"redist_host_time\",\n  \"unit\": \"ns_per_iteration_all_ranks\",\n  \"results\": [\n");
+    // This bench is threadless, but record the executor the environment
+    // resolves to (FX_EXECUTOR/FX_WORKERS aware) so its host-time rows
+    // carry the same provenance field as every other BENCH_*.json and
+    // are never compared across configurations by accident.
+    let mut json = format!(
+        "{{\n  \"bench\": \"redist_host_time\",\n  \"executor\": \"{}\",\n  \
+         \"unit\": \"ns_per_iteration_all_ranks\",\n  \"results\": [\n",
+        Machine::real(2).executor
+    );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"direction\": \"{}\", \"n\": {}, \"p\": {}, \"legacy_ns\": {:.0}, \

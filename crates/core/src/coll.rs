@@ -17,6 +17,40 @@ use std::sync::Arc;
 use fx_runtime::Payload;
 
 use crate::cx::Cx;
+use crate::hash::mix2;
+
+/// Salt separating dataflow subset-barrier wire tags from every other tag
+/// family (user tags, collective tags). [`Cx::barrier_among`] derives its
+/// wire tag as `mix2(op_tag, BARRIER_SALT)` so a statement's barrier never
+/// collides with the statement's own data messages on the same `op_tag`.
+const BARRIER_SALT: u64 = 0xBAAA_A125;
+
+/// Compact textual form of a sorted physical-rank set: consecutive runs
+/// collapse, e.g. `[0,1,2,5]` → `"p0-2,p5"`. Barrier span labels embed
+/// these so nested `ON SUBGROUP` barriers are distinguishable per subgroup
+/// in Chrome traces.
+pub fn format_phys_ranges(members: &[usize]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < members.len() {
+        let start = members[i];
+        let mut end = start;
+        while i + 1 < members.len() && members[i + 1] == end + 1 {
+            i += 1;
+            end = members[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            out.push_str(&format!("p{start}"));
+        } else {
+            out.push_str(&format!("p{start}-{end}"));
+        }
+        i += 1;
+    }
+    out
+}
 
 impl Cx<'_> {
     /// Subset barrier over the current group: no member continues until all
@@ -27,13 +61,60 @@ impl Cx<'_> {
     pub fn barrier(&mut self) {
         // Scoped so the profiler attributes the barrier's send/recv busy
         // halves (and the idle gaps around them) to "barrier" rather than
-        // to the surrounding stage.
+        // to the surrounding stage. Inside a subgroup the label carries the
+        // member set ("barrier[p2-3]") so barriers of sibling subgroups —
+        // which otherwise render under one flat label — stay apart in
+        // traces; the allocation is skipped entirely when neither the
+        // profiler nor telemetry is on.
         self.runtime().note_barrier();
-        self.runtime().push_scope("barrier");
+        if self.nesting_depth() > 1 && self.runtime().scopes_active() {
+            let label = format!("barrier[{}]", format_phys_ranges(self.group().members()));
+            self.runtime().push_scope(&label);
+        } else {
+            self.runtime().push_scope("barrier");
+        }
         // The reduce's Option result (Some on the root, None elsewhere) is
         // exactly the broadcast leg's input — no placeholder value needed.
         let token = self.reduce(0, (), |(), ()| ());
         self.bcast_opt(0, token);
+        self.runtime().pop_scope();
+    }
+
+    /// Dissemination barrier over an explicit set of *physical* processors
+    /// (sorted, distinct), independent of the current group. This is the
+    /// synchronization the dataflow classifier inserts at darray statement
+    /// edges whose source and destination live in different (sibling)
+    /// subgroups: the member set is the union of both arrays' groups, which
+    /// is no group on the stack.
+    ///
+    /// Non-members return immediately. `op_tag` must be an
+    /// already-allocated statement tag ([`Cx::next_op_tag`]); the wire tag
+    /// is salted so it cannot collide with the statement's data messages.
+    /// The schedule is the classic dissemination pattern — round `d = 1, 2,
+    /// 4, …` sends to `members[(r+d) % n]` and waits on `members[(r+n-d) %
+    /// n]` — which completes in ⌈log₂ n⌉ rounds with every (src, dst) pair
+    /// distinct, so FIFO order on the single wire tag is never ambiguous.
+    /// Deposits are non-blocking, so the send-then-recv round structure
+    /// cannot deadlock.
+    pub fn barrier_among(&mut self, members: &[usize], op_tag: u64, label: &str) {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "barrier_among members must be sorted and distinct"
+        );
+        let me = self.phys_rank();
+        let Ok(r) = members.binary_search(&me) else { return };
+        self.runtime().note_barrier();
+        self.runtime().push_scope(label);
+        let n = members.len();
+        let wire = mix2(op_tag, BARRIER_SALT);
+        let mut d = 1usize;
+        while d < n {
+            let dst = members[(r + d) % n];
+            let src = members[(r + n - d) % n];
+            self.send_phys(dst, wire, ());
+            let () = self.recv_phys(src, wire);
+            d <<= 1;
+        }
         self.runtime().pop_scope();
     }
 

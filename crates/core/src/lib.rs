@@ -45,6 +45,7 @@ mod partition;
 mod plancache;
 mod region;
 
+pub use coll::format_phys_ranges;
 pub use cx::{spmd, Cx};
 pub use plancache::PlanCache;
 pub use group::GroupHandle;
@@ -53,4 +54,4 @@ pub use pdo::IterSched;
 pub use region::TaskRegion;
 
 // Re-export the runtime surface users need alongside the model.
-pub use fx_runtime::{Machine, MachineModel, Payload, ProcCtx, RunReport, TimeMode};
+pub use fx_runtime::{DataflowMode, Machine, MachineModel, Payload, ProcCtx, RunReport, TimeMode};

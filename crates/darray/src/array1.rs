@@ -1,8 +1,11 @@
 //! One-dimensional distributed arrays.
 
+use std::cell::RefCell;
+
 use fx_core::{Cx, GroupHandle};
 
 use crate::dist::{DimMap, Dist};
+use crate::plan::VersionVec;
 
 /// Element types storable in distributed arrays. `Sync` lets collectives
 /// share one broadcast payload across processor threads.
@@ -49,6 +52,8 @@ pub struct DArray1<T> {
     /// This processor's virtual rank in `group`, if it is a member.
     my_vrank: Option<usize>,
     local: Vec<T>,
+    /// Replicated read/write version vector (dataflow classification).
+    versions: RefCell<VersionVec>,
 }
 
 impl<T: Elem> DArray1<T> {
@@ -74,7 +79,8 @@ impl<T: Elem> DArray1<T> {
             (Some(_), Dist1::Replicated) => vec![fill; n],
             (Some(v), _) => vec![fill; map.local_len(v)],
         };
-        DArray1 { group: group.clone(), dist, map, n, my_vrank, local }
+        let versions = RefCell::new(VersionVec::new(n));
+        DArray1 { group: group.clone(), dist, map, n, my_vrank, local, versions }
     }
 
     /// Create from globally known contents: each member extracts its part.
@@ -89,7 +95,8 @@ impl<T: Elem> DArray1<T> {
             (Some(_), Dist1::Replicated) => data.to_vec(),
             (Some(v), _) => map.owned_globals(v).map(|g| data[g]).collect(),
         };
-        DArray1 { group: group.clone(), dist, map, n, my_vrank, local }
+        let versions = RefCell::new(VersionVec::new(n));
+        DArray1 { group: group.clone(), dist, map, n, my_vrank, local, versions }
     }
 
     /// Create an array aligned with `other` — the same group, extent and
@@ -117,6 +124,12 @@ impl<T: Elem> DArray1<T> {
 
     pub(crate) fn map(&self) -> &DimMap {
         &self.map
+    }
+
+    /// The array's read/write version vector (replicated metadata; the
+    /// dataflow classifier records statement effects through it).
+    pub fn versions(&self) -> &RefCell<VersionVec> {
+        &self.versions
     }
 
     /// Is the calling processor a member of the array's group?

@@ -1,9 +1,12 @@
 //! Two-dimensional distributed arrays over a processor grid.
 
+use std::cell::RefCell;
+
 use fx_core::{Cx, GroupHandle};
 
 use crate::array1::Elem;
 use crate::dist::{DimMap, Dist};
+use crate::plan::VersionVec;
 
 /// Distribution of a 2-D array: one [`Dist`] per dimension
 /// (`DISTRIBUTE a(BLOCK, *)` etc.).
@@ -28,6 +31,9 @@ pub struct DArray2<T> {
     my_coord: Option<(usize, usize)>,
     /// Row-major `local_rows x local_cols` storage (empty on non-members).
     local: Vec<T>,
+    /// Replicated read/write version vector (dataflow classification).
+    /// 2-D statements record whole-array footprints over `rows * cols`.
+    versions: RefCell<VersionVec>,
 }
 
 fn default_grid(dist: Dist2, p: usize) -> (usize, usize) {
@@ -87,7 +93,8 @@ impl<T: Elem> DArray2<T> {
             None => Vec::new(),
             Some((gr, gc)) => vec![fill; rmap.local_len(gr) * cmap.local_len(gc)],
         };
-        DArray2 { group: group.clone(), dist, grid, rmap, cmap, rows, cols, my_coord, local }
+        let versions = RefCell::new(VersionVec::new(rows * cols));
+        DArray2 { group: group.clone(), dist, grid, rmap, cmap, rows, cols, my_coord, local, versions }
     }
 
     /// Create from globally known contents (`data[r * cols + c]`); each
@@ -273,6 +280,12 @@ impl<T: Elem> DArray2<T> {
             }
         }
         out
+    }
+
+    /// The array's read/write version vector (replicated metadata; the
+    /// dataflow classifier records statement effects through it).
+    pub fn versions(&self) -> &RefCell<VersionVec> {
+        &self.versions
     }
 
     pub(crate) fn maps(&self) -> (&DimMap, &DimMap) {

@@ -6,10 +6,13 @@
 //! local. The implementation mirrors [`crate::DArray2`] with a
 //! three-dimensional processor grid.
 
+use std::cell::RefCell;
+
 use fx_core::{Cx, GroupHandle};
 
 use crate::array1::Elem;
 use crate::dist::{DimMap, Dist};
+use crate::plan::VersionVec;
 
 /// Distribution of a 3-D array: one [`Dist`] per dimension.
 pub type Dist3 = (Dist, Dist, Dist);
@@ -26,6 +29,9 @@ pub struct DArray3<T> {
     my_coord: Option<(usize, usize, usize)>,
     /// Row-major `l0 x l1 x l2` local storage.
     local: Vec<T>,
+    /// Replicated read/write version vector (dataflow classification).
+    /// 3-D statements record whole-array footprints over `d0 * d1 * d2`.
+    versions: RefCell<VersionVec>,
 }
 
 fn default_grid3(dist: Dist3, p: usize) -> (usize, usize, usize) {
@@ -79,7 +85,8 @@ impl<T: Elem> DArray3<T> {
                 vec![fill; maps[0].local_len(c0) * maps[1].local_len(c1) * maps[2].local_len(c2)]
             }
         };
-        DArray3 { group: group.clone(), dist, grid, maps, shape, my_coord, local }
+        let versions = RefCell::new(VersionVec::new(shape[0] * shape[1] * shape[2]));
+        DArray3 { group: group.clone(), dist, grid, maps, shape, my_coord, local, versions }
     }
 
     /// Global extents `[d0, d1, d2]`.
@@ -100,6 +107,12 @@ impl<T: Elem> DArray3<T> {
     /// Is the calling processor a member of the array's group?
     pub fn is_member(&self) -> bool {
         self.my_coord.is_some()
+    }
+
+    /// The array's read/write version vector (replicated metadata; the
+    /// dataflow classifier records statement effects through it).
+    pub fn versions(&self) -> &RefCell<VersionVec> {
+        &self.versions
     }
 
     /// Local extents `(l0, l1, l2)`.
@@ -247,10 +260,23 @@ pub fn assign3<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
 }
 
 fn assign3_inner<T: Elem>(cx: &mut Cx, dst: &mut DArray3<T>, src: &DArray3<T>) {
-    use crate::plan::{pack3, pack3_into, unpack3, unpack3_chunk, Key3, Plan3, Side3};
+    use crate::plan::{pack3, pack3_into, unpack3, unpack3_chunk, Key3, Plan3, Side3, WriteKind};
     use std::time::Instant;
 
     let tag = cx.next_op_tag();
+    let [s0, s1, s2] = src.shape();
+    let s_range = 0..s0 * s1 * s2;
+    let [d0, d1, d2] = dst.shape();
+    let d_range = 0..d0 * d1 * d2;
+    let tainted = src.versions().borrow().tainted(s_range.clone())
+        || dst.versions().borrow().tainted(d_range.clone());
+    crate::dataflow::sync_edge(cx, tag, src.group(), dst.group(), tainted);
+    if tainted {
+        src.versions().borrow_mut().clear_taint(s_range.clone());
+        dst.versions().borrow_mut().clear_taint(d_range.clone());
+    }
+    src.versions().borrow_mut().record_read(s_range);
+    dst.versions().borrow_mut().record_write(d_range, WriteKind::Covered);
     let me = cx.phys_rank();
     if !src.is_member() && !dst.is_member() {
         return; // minimal-subset skip
@@ -326,6 +352,16 @@ fn exchange_plane_halo_inner<T: Elem>(cx: &mut Cx, a: &DArray3<T>, width: usize)
         "plane halo needs a (*, BLOCK, *) distribution"
     );
     let tag = cx.next_op_tag();
+    // Halos run inside the array's own group, which outside replica
+    // holders skip entirely — so they test taint (an opaque write must
+    // still be ordered before its boundary values are read) but never
+    // clear it: clearing here would desync the outsiders' version
+    // vectors.
+    {
+        let [n0, n1, n2] = a.shape();
+        let tainted = a.versions().borrow().tainted(0..n0 * n1 * n2);
+        crate::dataflow::sync_edge(cx, tag, a.group(), a.group(), tainted);
+    }
     let me = cx.id();
     let l1 = a.local_dims().1;
     assert!(

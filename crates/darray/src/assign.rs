@@ -27,10 +27,11 @@ use fx_core::Cx;
 
 use crate::array1::{DArray1, Dist1, Elem};
 use crate::array2::DArray2;
+use crate::dataflow::sync_edge;
 use crate::dist::DimMap;
 use crate::plan::{
     copy_seg_runs, pack2, pack2_into, pack_seg_runs_into, unpack2, unpack2_chunk,
-    unpack_seg_runs_chunk, Key1, Key2, Plan1, Plan2, Side1, Side2,
+    unpack_seg_runs_chunk, Key1, Key2, Plan1, Plan2, Side1, Side2, WriteKind,
 };
 
 /// Which processors take part in a parent-scope array statement.
@@ -101,9 +102,27 @@ pub fn copy_shift1_range<T: Elem>(
         );
     }
     let tag = cx.next_op_tag();
+    // Dataflow classification runs on every caller — members and
+    // skippers alike — so the replicated version vectors stay in step.
+    let s_range = if range.is_empty() {
+        0..0
+    } else {
+        let lo = (range.start as isize + shift) as usize;
+        lo..lo + range.len()
+    };
+    let tainted = src.versions().borrow().tainted(s_range.clone())
+        || dst.versions().borrow().tainted(range.clone());
     if mode == Participation::WholeGroup {
         cx.barrier();
+    } else {
+        sync_edge(cx, tag, src.group(), dst.group(), tainted);
     }
+    if tainted {
+        src.versions().borrow_mut().clear_taint(s_range.clone());
+        dst.versions().borrow_mut().clear_taint(range.clone());
+    }
+    src.versions().borrow_mut().record_read(s_range);
+    dst.versions().borrow_mut().record_write(range.clone(), WriteKind::Covered);
     let me = cx.phys_rank();
     if !src.is_member() && !dst.is_member() {
         return; // minimal-subset skip
@@ -212,6 +231,11 @@ pub fn copy_remap1_range<T: Elem>(
     if mode == Participation::WholeGroup {
         cx.barrier();
     }
+    // The remap closure's communication pattern is opaque to the planner:
+    // taint the destination footprint so the next plan statement reading
+    // it keeps its barrier. Never a sync point itself, in any mode.
+    src.versions().borrow_mut().record_read(0..src.n());
+    dst.versions().borrow_mut().record_write(range.clone(), WriteKind::Opaque);
     let me = cx.phys_rank();
     if !src.is_member() && !dst.is_member() {
         return; // minimal-subset skip
@@ -315,9 +339,21 @@ fn plan_copy2<T: Elem>(
     mode: Participation,
 ) {
     let tag = cx.next_op_tag();
+    let s_range = 0..src.rows() * src.cols();
+    let d_range = 0..dst.rows() * dst.cols();
+    let tainted = src.versions().borrow().tainted(s_range.clone())
+        || dst.versions().borrow().tainted(d_range.clone());
     if mode == Participation::WholeGroup {
         cx.barrier();
+    } else {
+        sync_edge(cx, tag, src.group(), dst.group(), tainted);
     }
+    if tainted {
+        src.versions().borrow_mut().clear_taint(s_range.clone());
+        dst.versions().borrow_mut().clear_taint(d_range.clone());
+    }
+    src.versions().borrow_mut().record_read(s_range);
+    dst.versions().borrow_mut().record_write(d_range, WriteKind::Covered);
     let me = cx.phys_rank();
     if !src.is_member() && !dst.is_member() {
         return; // minimal-subset skip
@@ -388,6 +424,9 @@ pub fn copy_remap2_with<T: Elem>(
     if mode == Participation::WholeGroup {
         cx.barrier();
     }
+    // Opaque write (see copy_remap1_range): taint source, never sync.
+    src.versions().borrow_mut().record_read(0..src.rows() * src.cols());
+    dst.versions().borrow_mut().record_write(0..dst.rows() * dst.cols(), WriteKind::Opaque);
     let me = cx.phys_rank();
     if !src.is_member() && !dst.is_member() {
         return; // minimal-subset skip

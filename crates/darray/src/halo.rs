@@ -14,6 +14,15 @@ use crate::dist::{DimMap, Dist};
 use crate::plan::segs_total;
 use crate::plan::{pack_seg_runs_into, Seg};
 
+/// Dataflow sync for a halo: barrier the array's group if its footprint
+/// is tainted by an opaque write. Halos run inside the owning subgroup,
+/// which outside replica holders skip, so they only *test* taint — never
+/// clear it (clearing would desync the outsiders' version vectors).
+fn sync_halo<T: Elem>(cx: &mut Cx, tag: u64, a: &DArray2<T>) {
+    let tainted = a.versions().borrow().tainted(0..a.rows() * a.cols());
+    crate::dataflow::sync_edge(cx, tag, a.group(), a.group(), tainted);
+}
+
 /// Cache key for a halo pack plan: the array placement plus the halo
 /// width. `axis` distinguishes row from column exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,6 +76,7 @@ fn exchange_row_halo_inner<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -
     assert_eq!(a.dist().0, Dist::Block, "row halo needs a (BLOCK, *) distribution");
     assert_eq!(a.dist().1, Dist::Star, "row halo needs a (BLOCK, *) distribution");
     let tag = cx.next_op_tag();
+    sync_halo(cx, tag, a);
     let me = cx.id();
     let lr = a.local_dims().0;
     // Members owning no rows (more processors than row blocks) sit out;
@@ -168,6 +178,7 @@ fn exchange_col_halo_inner<T: Elem>(cx: &mut Cx, a: &DArray2<T>, width: usize) -
     assert_eq!(a.dist().0, Dist::Star, "col halo needs a (*, BLOCK) distribution");
     assert_eq!(a.dist().1, Dist::Block, "col halo needs a (*, BLOCK) distribution");
     let tag = cx.next_op_tag();
+    sync_halo(cx, tag, a);
     let me = cx.id();
     let lc = a.local_dims().1;
     assert!(

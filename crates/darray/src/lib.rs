@@ -27,6 +27,7 @@ mod array1;
 mod array2;
 mod array3;
 mod assign;
+mod dataflow;
 mod dist;
 mod halo;
 mod intrinsics;
@@ -47,4 +48,5 @@ pub use dist::{DimMap, Dist};
 pub use halo::{exchange_col_halo, exchange_row_halo, ColHalo, RowHalo};
 pub use intrinsics::{cshift1, eoshift1, max1, min1, sum1, sum2, sum_along_cols, sum_along_rows};
 pub use pack::{count_matching, repartition_by};
+pub use plan::{IntervalVer, VersionVec, WriteKind};
 pub use rootio::{gather_to_root1, gather_to_root2, scatter_from_root1};

@@ -11,6 +11,7 @@ use fx_core::Cx;
 
 use crate::array1::{DArray1, Dist1, Elem};
 use crate::array2::DArray2;
+use crate::plan::WriteKind;
 
 /// Gather a distributed 1-D array into a global vector on virtual rank
 /// `root` of the array's group. Collective over the array's group;
@@ -29,6 +30,7 @@ pub fn gather_to_root1<T: Elem + Default>(
         !matches!(a.dist(), Dist1::Replicated),
         "a replicated array is already global everywhere"
     );
+    a.versions().borrow_mut().record_read(0..a.n());
     let mine = a.local().to_vec();
     let parts = cx.gather(root, mine)?;
     let mut out = vec![T::default(); a.n()];
@@ -65,6 +67,9 @@ pub fn scatter_from_root1<T: Elem>(
         "scatter onto a replicated array is a broadcast; use bcast"
     );
     let tag = cx.next_op_tag();
+    // Root I/O writes through point-to-point sends no later statement can
+    // piggyback on: taint the whole array (an opaque write).
+    a.versions().borrow_mut().record_write(0..a.n(), WriteKind::Opaque);
     let p = cx.nprocs();
     let me = cx.id();
     if me == root {
@@ -102,6 +107,7 @@ pub fn gather_to_root2<T: Elem + Default>(
         a.group().gid(),
         "gather_to_root2 is a collective over the array's group"
     );
+    a.versions().borrow_mut().record_read(0..a.rows() * a.cols());
     let mine = a.local().to_vec();
     let parts = cx.gather(root, mine)?;
     let cols = a.cols();

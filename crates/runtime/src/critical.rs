@@ -145,6 +145,26 @@ impl CriticalPathReport {
     pub fn hops(&self) -> usize {
         self.segments.windows(2).filter(|w| w[0].proc != w[1].proc).count()
     }
+
+    /// Critical-path seconds spent inside barrier scopes: every segment
+    /// whose span path has a `/`-component starting with `"barrier"`
+    /// (plain group barriers and the dataflow subset barriers, whose
+    /// labels carry member ranges like `barrier[p0-1>p2-3]`). This is the
+    /// time `FX_DATAFLOW=on` targets: elided barriers remove exactly
+    /// these segments from the path.
+    pub fn barrier_wait(&self) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| match &s.path {
+                Some(p) => p.split('/').any(|c| c.starts_with("barrier")),
+                None => false,
+            })
+            .map(|s| s.dur())
+            .sum::<f64>()
+            // Zero-duration segments can carry an IEEE negative zero;
+            // normalize so "no wait" always prints as 0.
+            .max(0.0)
+    }
 }
 
 /// Identity of a message stream: FIFO matching of sends to receives is

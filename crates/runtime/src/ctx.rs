@@ -14,9 +14,10 @@ use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
 use crate::pool::Pool;
 use crate::payload::{erase, unerase, BufferPool, Chunk, MsgBody, Payload};
+use crate::run::DataflowMode;
 use crate::span::{Span, SpanKind, SpanLog};
 use crate::telemetry::{ProcShard, Telemetry};
-use crate::trace::{EventLog, HostStats, PlanStats};
+use crate::trace::{DataflowStats, EventLog, HostStats, PlanStats};
 
 /// Shared state of one run of the machine.
 pub(crate) struct World {
@@ -29,6 +30,9 @@ pub(crate) struct World {
     /// Live telemetry registry (see [`crate::Telemetry`]); `None` keeps
     /// every hot path on the seed code shape.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Resolved barrier-elision mode for this run (`Off` or `On`;
+    /// `Validate` is split into two runs before the world is built).
+    pub dataflow: DataflowMode,
 }
 
 /// How this processor's blocking points are implemented: by parking the
@@ -65,6 +69,9 @@ pub struct ProcCtx {
     /// Communication-plan instrumentation (host-side only; never affects
     /// the virtual clock).
     plan_stats: PlanStats,
+    /// Dataflow barrier-elision counters (always counted; the data-parallel
+    /// layer's classifier reports each sync-point decision here).
+    dataflow_stats: DataflowStats,
     /// Transport instrumentation (host-side only).
     host: HostStats,
     /// Recycled message-buffer storage for the chunk fast path.
@@ -114,6 +121,7 @@ impl ProcCtx {
             sent_msgs: 0,
             sent_bytes: 0,
             plan_stats: PlanStats::default(),
+            dataflow_stats: DataflowStats::default(),
             host: HostStats::default(),
             pool: BufferPool::default(),
             profile,
@@ -609,6 +617,48 @@ impl ProcCtx {
         }
     }
 
+    /// The run's resolved barrier-elision mode (never
+    /// [`DataflowMode::Validate`] — a validate machine launches two
+    /// resolved runs). The data-parallel layer consults this at every
+    /// statement sync point.
+    #[inline]
+    pub fn dataflow(&self) -> DataflowMode {
+        self.world.dataflow
+    }
+
+    /// True when scope pushes are observed (profiling or telemetry is
+    /// active), so callers can skip building descriptive scope labels on
+    /// unobserved runs.
+    #[inline]
+    pub fn scopes_active(&self) -> bool {
+        self.profile || self.tl.is_some()
+    }
+
+    /// Count one sync point classified interval-covered (barrier elided).
+    #[inline]
+    pub fn note_barrier_elided(&mut self) {
+        self.dataflow_stats.barriers_elided += 1;
+        if let Some(sh) = &self.tl {
+            sh.barriers_elided
+                .store(self.dataflow_stats.barriers_elided, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Count one sync point where the subset barrier actually ran.
+    #[inline]
+    pub fn note_barrier_kept(&mut self) {
+        self.dataflow_stats.barriers_kept += 1;
+        if let Some(sh) = &self.tl {
+            sh.barriers_kept
+                .store(self.dataflow_stats.barriers_kept, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// This processor's dataflow counters so far.
+    pub fn dataflow_stats(&self) -> DataflowStats {
+        self.dataflow_stats
+    }
+
     /// Count one skipped task region (this processor was not a member of
     /// the region's subgroup). No-op when telemetry is off.
     #[inline]
@@ -634,12 +684,24 @@ impl ProcCtx {
         h
     }
 
-    pub(crate) fn into_parts(self) -> (f64, EventLog, u64, u64, PlanStats, HostStats, SpanLog) {
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (f64, EventLog, u64, u64, PlanStats, HostStats, SpanLog, DataflowStats) {
         let t = self.now();
         let mut host = self.host;
         host.pool_hits = self.pool.hits;
         host.pool_misses = self.pool.misses;
         host.plan = self.plan_stats;
-        (t, self.events, self.sent_msgs, self.sent_bytes, self.plan_stats, host, self.spans)
+        (
+            t,
+            self.events,
+            self.sent_msgs,
+            self.sent_bytes,
+            self.plan_stats,
+            host,
+            self.spans,
+            self.dataflow_stats,
+        )
     }
 }

@@ -50,8 +50,10 @@ pub use flight::{FlightEvent, FlightKind};
 pub use http::TelemetryServer;
 pub use model::{MachineModel, TimeMode};
 pub use payload::{Chunk, Payload};
-pub use run::{run, Executor, Machine, RunReport};
+pub use run::{run, DataflowMode, Executor, Machine, RunReport};
 pub use span::{Span, SpanAccounting, SpanKind, SpanLog};
 pub use stall::{StallReport, StalledProc};
 pub use telemetry::{ProcTotals, Telemetry, TelemetryConfig, TelemetrySnapshot};
-pub use trace::{chrome_trace_full_json, chrome_trace_json, Event, EventLog, HostStats, PlanStats};
+pub use trace::{
+    chrome_trace_full_json, chrome_trace_json, DataflowStats, Event, EventLog, HostStats, PlanStats,
+};

@@ -355,8 +355,11 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 let out = match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes, plans, host, spans) = cx.into_parts();
-                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host, spans })
+                        let (time, events, msgs, bytes, plans, host, spans, dataflow) =
+                            cx.into_parts();
+                        Ok(ProcOutcome {
+                            value, time, events, msgs, bytes, plans, host, spans, dataflow,
+                        })
                     }
                     Err(payload) => {
                         // Unblock everyone else before reporting.

@@ -13,7 +13,7 @@ use crate::pool::{self, Pool};
 use crate::span::SpanLog;
 use crate::stall;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
-use crate::trace::{EventLog, HostStats, PlanStats};
+use crate::trace::{DataflowStats, EventLog, HostStats, PlanStats};
 
 /// How simulated processors are mapped onto OS threads.
 ///
@@ -73,6 +73,51 @@ impl std::fmt::Display for Executor {
     }
 }
 
+/// Whether distributed-array statements elide their inter-stage subset
+/// barriers when the interval-level dependence structure proves them
+/// redundant (ROADMAP item 4; see `fx-darray`'s dataflow module for the
+/// covered-edge rule).
+///
+/// Barriers in this runtime never affect *results* — messages are matched
+/// FIFO per `(src, tag)` stream regardless — only virtual (and host) time.
+/// `Off` is the conservative baseline that synchronizes the participating
+/// subset at every statement; `On` keeps only the barriers the classifier
+/// cannot prove covered; `Validate` runs both ways and asserts the
+/// elision is sound (identical event sequences, monotonically earlier
+/// clocks, bit-identical times when nothing was elided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataflowMode {
+    /// Conservative: subset barrier at every distributed-array statement.
+    Off,
+    /// Elide barriers on interval-covered edges (the default).
+    On,
+    /// Run `Off` then `On` and assert the runs agree; report the `On` run.
+    Validate,
+}
+
+impl DataflowMode {
+    /// Apply the `FX_DATAFLOW` (`off`/`on`/`validate`) environment
+    /// override on top of a default.
+    fn from_env(default: DataflowMode) -> DataflowMode {
+        match std::env::var("FX_DATAFLOW").as_deref() {
+            Ok("off") => DataflowMode::Off,
+            Ok("on") => DataflowMode::On,
+            Ok("validate") => DataflowMode::Validate,
+            _ => default,
+        }
+    }
+}
+
+impl std::fmt::Display for DataflowMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataflowMode::Off => write!(f, "off"),
+            DataflowMode::On => write!(f, "on"),
+            DataflowMode::Validate => write!(f, "validate"),
+        }
+    }
+}
+
 /// Deadlock-watchdog default: `FX_RECV_TIMEOUT_MS` if set, else 60 s.
 /// An explicit [`Machine::with_timeout`] always wins.
 fn default_recv_timeout() -> Duration {
@@ -104,6 +149,10 @@ pub struct Machine {
     /// and `FX_WORKERS` override the default, an explicit
     /// [`Machine::with_executor`] overrides everything).
     pub executor: Executor,
+    /// Barrier elision for distributed-array statements (default `On`;
+    /// `FX_DATAFLOW` overrides, an explicit [`Machine::with_dataflow`]
+    /// overrides everything).
+    pub dataflow: DataflowMode,
 }
 
 impl Machine {
@@ -116,6 +165,7 @@ impl Machine {
             profile: false,
             telemetry: None,
             executor: Executor::from_env(Executor::pooled()),
+            dataflow: DataflowMode::from_env(DataflowMode::On),
         }
     }
 
@@ -128,6 +178,7 @@ impl Machine {
             profile: false,
             telemetry: None,
             executor: Executor::from_env(Executor::Threaded),
+            dataflow: DataflowMode::from_env(DataflowMode::On),
         }
     }
 
@@ -141,6 +192,13 @@ impl Machine {
     /// `FX_EXECUTOR`/`FX_WORKERS` environment.
     pub fn with_executor(mut self, e: Executor) -> Self {
         self.executor = e;
+        self
+    }
+
+    /// Pin the dataflow barrier-elision mode, overriding both the default
+    /// (`On`) and the `FX_DATAFLOW` environment.
+    pub fn with_dataflow(mut self, d: DataflowMode) -> Self {
+        self.dataflow = d;
         self
     }
 
@@ -186,6 +244,10 @@ pub struct RunReport<R> {
     /// with `with_profiling(true)` under simulated time). Feed these to
     /// [`crate::critical_path`] or [`crate::chrome_trace_full_json`].
     pub spans: Vec<SpanLog>,
+    /// Per-processor dataflow barrier-elision counters (all-zero for
+    /// programs that never execute distributed-array statements). For a
+    /// `Validate` run these are the counters of the `On` pass.
+    pub dataflow: Vec<DataflowStats>,
     /// Final telemetry snapshot (`None` unless the machine was built with
     /// [`Machine::with_telemetry`]).
     pub telemetry: Option<TelemetrySnapshot>,
@@ -215,6 +277,16 @@ impl<R> RunReport<R> {
         let mut total = PlanStats::default();
         for p in &self.plan_stats {
             total.merge(p);
+        }
+        total
+    }
+
+    /// Machine-wide dataflow counters: every processor's
+    /// [`DataflowStats`] merged into one.
+    pub fn dataflow_total(&self) -> DataflowStats {
+        let mut total = DataflowStats::default();
+        for d in &self.dataflow {
+            total.merge(d);
         }
         total
     }
@@ -290,7 +362,35 @@ where
     R: Send,
     F: Fn(&mut ProcCtx) -> R + Send + Sync,
 {
+    if machine.dataflow == DataflowMode::Validate {
+        // Soundness check for barrier elision: execute the program twice —
+        // conservative barriers first, then with the classifier — and
+        // assert the elision could not have changed observable behaviour.
+        // Observers (telemetry, profiling) attach only to the reported
+        // `On` pass so registry counters aren't double-counted.
+        let mut off = machine.clone();
+        off.dataflow = DataflowMode::Off;
+        off.telemetry = None;
+        off.profile = false;
+        let off_rep = run_resolved(&off, &f);
+        let mut on = machine.clone();
+        on.dataflow = DataflowMode::On;
+        let on_rep = run_resolved(&on, &f);
+        validate_elision(&off_rep, &on_rep, machine.mode.is_simulated());
+        return on_rep;
+    }
+    run_resolved(machine, &f)
+}
+
+/// The single-pass body of [`run`]: `machine.dataflow` is already resolved
+/// to `Off` or `On`.
+fn run_resolved<R, F>(machine: &Machine, f: &F) -> RunReport<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx) -> R + Send + Sync,
+{
     assert!(machine.nprocs >= 1, "machine needs at least one processor");
+    debug_assert!(machine.dataflow != DataflowMode::Validate, "validate resolves before launch");
     // Resolve the effective executor: auto worker counts become concrete,
     // and targets without a coroutine backend fall back to threads.
     let pool = match machine.executor {
@@ -318,6 +418,7 @@ where
         recv_timeout: machine.recv_timeout,
         profile: machine.profile,
         telemetry: telemetry.clone(),
+        dataflow: machine.dataflow,
     });
     let start = Instant::now();
     if let Some(t) = &telemetry {
@@ -372,6 +473,7 @@ where
     let mut plan_stats = Vec::with_capacity(machine.nprocs);
     let mut host_stats = Vec::with_capacity(machine.nprocs);
     let mut spans = Vec::with_capacity(machine.nprocs);
+    let mut dataflow = Vec::with_capacity(machine.nprocs);
     for (rank, out) in outcomes.into_iter().enumerate() {
         let out = out.expect("missing processor outcome despite no panic");
         results.push(out.value);
@@ -383,6 +485,7 @@ where
         host.lane_bytes = world.mailboxes[rank].lane_bytes();
         host_stats.push(host);
         spans.push(out.spans);
+        dataflow.push(out.dataflow);
     }
     let telemetry_snapshot = telemetry.as_ref().map(|t| t.snapshot());
     RunReport {
@@ -393,9 +496,95 @@ where
         plan_stats,
         host_stats,
         spans,
+        dataflow,
         telemetry: telemetry_snapshot,
         undelivered,
     }
+}
+
+/// The `Validate` assertions: elision must not change what the program
+/// did, only when (in virtual time) it did it.
+///
+/// * Event label sequences are identical per processor — the program took
+///   the same path.
+/// * Under simulated time, every event time and finish time of the `On`
+///   run is `<=` its `Off` counterpart: removing barriers can only lower
+///   clocks (clock updates are IEEE `+`/`max` of the same operands, both
+///   monotone), never raise or reorder them.
+/// * Traffic is `<=` (the elided barrier messages are the difference).
+/// * When nothing was elided the runs executed identical message
+///   schedules, so times and traffic must be bit-identical.
+fn validate_elision<R>(off: &RunReport<R>, on: &RunReport<R>, simulated: bool) {
+    let elided = on.dataflow_total().barriers_elided;
+    let exact = elided == 0;
+    assert_eq!(off.results.len(), on.results.len(), "FX_DATAFLOW=validate: nprocs changed");
+    for p in 0..on.results.len() {
+        let (eo, en) = (off.events[p].events(), on.events[p].events());
+        assert_eq!(
+            eo.len(),
+            en.len(),
+            "FX_DATAFLOW=validate: processor {p} recorded {} events with barriers, {} without",
+            eo.len(),
+            en.len()
+        );
+        for (a, b) in eo.iter().zip(en) {
+            assert_eq!(
+                a.label, b.label,
+                "FX_DATAFLOW=validate: processor {p} event label diverged"
+            );
+            if simulated {
+                if exact {
+                    assert!(
+                        a.time.to_bits() == b.time.to_bits(),
+                        "FX_DATAFLOW=validate: nothing elided, yet processor {p} \
+                         event '{}' moved: {} (off) vs {} (on)",
+                        a.label, a.time, b.time
+                    );
+                } else {
+                    assert!(
+                        b.time <= a.time,
+                        "FX_DATAFLOW=validate: elision DELAYED processor {p} \
+                         event '{}': {} (off) vs {} (on)",
+                        a.label, a.time, b.time
+                    );
+                }
+            }
+        }
+        if simulated {
+            let (to, tn) = (off.times[p], on.times[p]);
+            if exact {
+                assert!(
+                    to.to_bits() == tn.to_bits(),
+                    "FX_DATAFLOW=validate: nothing elided, yet processor {p} finish \
+                     moved: {to} (off) vs {tn} (on)"
+                );
+            } else {
+                assert!(
+                    tn <= to,
+                    "FX_DATAFLOW=validate: elision delayed processor {p} finish: \
+                     {to} (off) vs {tn} (on)"
+                );
+            }
+        }
+        let ((mo, bo), (mn, bn)) = (off.traffic[p], on.traffic[p]);
+        if exact {
+            assert_eq!(
+                (mo, bo),
+                (mn, bn),
+                "FX_DATAFLOW=validate: nothing elided, yet processor {p} traffic differs"
+            );
+        } else {
+            assert!(
+                mn <= mo && bn <= bo,
+                "FX_DATAFLOW=validate: elision increased processor {p} traffic: \
+                 {mo} msgs/{bo} B (off) vs {mn} msgs/{bn} B (on)"
+            );
+        }
+    }
+    assert_eq!(
+        off.undelivered, on.undelivered,
+        "FX_DATAFLOW=validate: undelivered message count diverged"
+    );
 }
 
 /// The reference executor: one dedicated OS thread per simulated
@@ -423,8 +612,11 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes, plans, host, spans) = cx.into_parts();
-                        Ok(ProcOutcome { value, time, events, msgs, bytes, plans, host, spans })
+                        let (time, events, msgs, bytes, plans, host, spans, dataflow) =
+                            cx.into_parts();
+                        Ok(ProcOutcome {
+                            value, time, events, msgs, bytes, plans, host, spans, dataflow,
+                        })
                     }
                     Err(payload) => {
                         // Unblock everyone else before reporting.
@@ -487,6 +679,7 @@ pub(crate) struct ProcOutcome<R> {
     pub(crate) plans: PlanStats,
     pub(crate) host: HostStats,
     pub(crate) spans: SpanLog,
+    pub(crate) dataflow: DataflowStats,
 }
 
 #[cfg(test)]

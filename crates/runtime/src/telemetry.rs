@@ -113,6 +113,8 @@ pub(crate) struct ProcShard {
     pub recv_bytes: AtomicU64,
     pub recv_wait_ns: AtomicU64,
     pub barriers: AtomicU64,
+    pub barriers_elided: AtomicU64,
+    pub barriers_kept: AtomicU64,
     pub region_enters: AtomicU64,
     pub region_skips: AtomicU64,
     pub pool_hits: AtomicU64,
@@ -158,6 +160,8 @@ impl ProcShard {
             recv_bytes: AtomicU64::new(0),
             recv_wait_ns: AtomicU64::new(0),
             barriers: AtomicU64::new(0),
+            barriers_elided: AtomicU64::new(0),
+            barriers_kept: AtomicU64::new(0),
             region_enters: AtomicU64::new(0),
             region_skips: AtomicU64::new(0),
             pool_hits: AtomicU64::new(0),
@@ -589,6 +593,8 @@ impl Telemetry {
         per_proc_counter!("fx_chunk_msgs", "Messages sent via the chunk fast path.", chunk_msgs);
         per_proc_counter!("fx_chunk_bytes", "Payload bytes sent via the chunk fast path.", chunk_bytes);
         per_proc_counter!("fx_barriers", "Group barriers entered.", barriers);
+        per_proc_counter!("fx_barriers_elided", "Statement sync points whose subset barrier was elided (interval-covered edge).", barriers_elided);
+        per_proc_counter!("fx_barriers_kept", "Statement sync points whose subset barrier ran.", barriers_kept);
         per_proc_counter!("fx_region_enters", "Task-region scopes entered.", region_enters);
         per_proc_counter!("fx_region_skips", "Task regions skipped (processor not a member).", region_skips);
         per_proc_counter!("fx_pool_hits", "Buffer-pool hits (buffer recycled).", pool_hits);
@@ -739,6 +745,12 @@ pub struct ProcTotals {
     pub recv_wait_ns: u64,
     /// Group barriers entered.
     pub barriers: u64,
+    /// Statement sync points whose subset barrier was elided because the
+    /// dependence classifier proved the edge interval-covered.
+    pub barriers_elided: u64,
+    /// Statement sync points whose subset barrier actually ran (edge was
+    /// barrier-required: tainted by aliasing writes or root I/O).
+    pub barriers_kept: u64,
     /// Task-region scopes entered.
     pub region_enters: u64,
     /// Task regions skipped because the processor was not a member.
@@ -774,6 +786,8 @@ impl ProcTotals {
             recv_bytes: ld(&s.recv_bytes),
             recv_wait_ns: ld(&s.recv_wait_ns),
             barriers: ld(&s.barriers),
+            barriers_elided: ld(&s.barriers_elided),
+            barriers_kept: ld(&s.barriers_kept),
             region_enters: ld(&s.region_enters),
             region_skips: ld(&s.region_skips),
             pool_hits: ld(&s.pool_hits),
@@ -798,6 +812,8 @@ impl ProcTotals {
         self.recv_bytes += other.recv_bytes;
         self.recv_wait_ns += other.recv_wait_ns;
         self.barriers += other.barriers;
+        self.barriers_elided += other.barriers_elided;
+        self.barriers_kept += other.barriers_kept;
         self.region_enters += other.region_enters;
         self.region_skips += other.region_skips;
         self.pool_hits += other.pool_hits;
@@ -814,6 +830,7 @@ impl ProcTotals {
         format!(
             "{{\"sends\":{},\"send_bytes\":{},\"chunk_msgs\":{},\"chunk_bytes\":{},\"send_ns\":{},\
              \"recvs\":{},\"recv_bytes\":{},\"recv_wait_ns\":{},\"barriers\":{},\
+             \"barriers_elided\":{},\"barriers_kept\":{},\
              \"region_enters\":{},\"region_skips\":{},\"pool_hits\":{},\"pool_misses\":{},\
              \"plan_hits\":{},\"plan_misses\":{},\"pack_ns\":{},\"lane_contention\":{},\
              \"progress\":{},\"flight_recorded\":{}}}",
@@ -826,6 +843,8 @@ impl ProcTotals {
             self.recv_bytes,
             self.recv_wait_ns,
             self.barriers,
+            self.barriers_elided,
+            self.barriers_kept,
             self.region_enters,
             self.region_skips,
             self.pool_hits,

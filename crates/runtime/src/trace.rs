@@ -53,6 +53,41 @@ impl std::fmt::Display for PlanStats {
     }
 }
 
+/// Per-processor dataflow-elision counters.
+///
+/// The data-parallel layer classifies every synchronization point of a
+/// distributed-array statement as *interval-covered* (the statement's own
+/// receives already order the consumer behind its producers, so the subset
+/// barrier is elided) or *barrier-required* (an opaque predecessor — index
+/// remap, root I/O — tainted an operand, so the barrier is kept). One of
+/// these per processor lands in [`crate::RunReport::dataflow`].
+///
+/// Counting is always on (plain integers on the hot path); like
+/// [`PlanStats`] it never touches the virtual clock.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DataflowStats {
+    /// Sync points classified interval-covered: the barrier was skipped.
+    pub barriers_elided: u64,
+    /// Sync points where a subset barrier actually ran (always, under
+    /// `FX_DATAFLOW=off`; only on tainted operands under `on`).
+    pub barriers_kept: u64,
+}
+
+impl DataflowStats {
+    /// Accumulate another processor's counters into this one (see
+    /// [`crate::RunReport::dataflow_total`]).
+    pub fn merge(&mut self, other: &DataflowStats) {
+        self.barriers_elided += other.barriers_elided;
+        self.barriers_kept += other.barriers_kept;
+    }
+}
+
+impl std::fmt::Display for DataflowStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataflow: {} barriers elided / {} kept", self.barriers_elided, self.barriers_kept)
+    }
+}
+
 /// Per-processor host-side transport counters.
 ///
 /// Where [`PlanStats`] measures plan construction and pack loops, this

@@ -35,12 +35,28 @@ pub struct BhConfig {
     /// Replicated tree levels per split (`k`); the paper wants
     /// `log2(p) <= k <= c * log2(p)`.
     pub k: usize,
+    /// Subgroup size at which the recursive splitting stops and the leaf
+    /// solve becomes a *promotable* loop ([`Cx::pdo_promote`]): the leaf
+    /// subgroup keeps the static block split of its particle range, but a
+    /// member stuck on deep traversals can donate its tail to peers that
+    /// finished early. `1` (the default) reproduces the original
+    /// recursion exactly — split all the way down to single processors
+    /// and solve sequentially with one lumped flop charge.
+    pub leaf_group: usize,
 }
 
 impl BhConfig {
-    /// Defaults: theta 0.4, light softening, 6 replicated levels.
+    /// Defaults: theta 0.4, light softening, 6 replicated levels,
+    /// single-processor leaves (no promotable loops).
     pub fn new(n: usize) -> Self {
-        BhConfig { n, theta: 0.4, eps: 1e-3, k: 6 }
+        BhConfig { n, theta: 0.4, eps: 1e-3, k: 6, leaf_group: 1 }
+    }
+
+    /// Stop the recursive split at subgroups of `q` processors and solve
+    /// leaves with a promotable loop (heartbeat work donation).
+    pub fn with_leaf_group(mut self, q: usize) -> Self {
+        self.leaf_group = q;
+        self
     }
 }
 
@@ -106,6 +122,12 @@ fn compute_force(
         // Leaf of the recursion: sequential force computation, worklist
         // for anything needing remote data.
         return solve_list(cx, tree, (lo..hi).collect(), cfg);
+    }
+    if cx.nprocs() <= cfg.leaf_group.max(1) {
+        // Promotable leaf: the subgroup shares tree (replicated within
+        // it), so the range solve can run as a heartbeat-promotable loop
+        // — overloaded members donate their tail to idle peers.
+        return solve_list_promoted(cx, tree, lo, hi, cfg);
     }
 
     let mid = lo + (hi - lo) / 2;
@@ -181,6 +203,46 @@ fn solve_list(
     (solved, worklist)
 }
 
+/// Promotable variant of the leaf solve: the subgroup block-splits
+/// `lo..hi` and each iteration charges its own traversal cost, so a
+/// member that drew the expensive particles can donate its tail on a
+/// heartbeat. The tree is replicated within the subgroup, so donated
+/// iterations ship no input; the output encodes `Option<[f64; 3]>` as
+/// `[fx, fy, fz, flag]`.
+fn solve_list_promoted(
+    cx: &mut Cx,
+    tree: &BhTree,
+    lo: usize,
+    hi: usize,
+    cfg: &BhConfig,
+) -> (Vec<(usize, [f64; 3])>, Vec<usize>) {
+    let mut solved = Vec::new();
+    let mut worklist = Vec::new();
+    cx.pdo_promote(
+        "bhLeaf",
+        lo..hi,
+        |_cx, _i| Vec::<f64>::new(),
+        |cx, i, _ins: &[f64]| {
+            let pos = tree.bodies[i].pos;
+            let (f, v) = tree.force_at_counting(pos, cfg.theta, cfg.eps);
+            cx.charge_flops(v as f64 * interaction_flops());
+            vec![match f {
+                Some(force) => [force[0], force[1], force[2], 1.0],
+                None => [0.0, 0.0, 0.0, 0.0],
+            }]
+        },
+        |_cx, i, outs: Vec<[f64; 4]>| {
+            let o = outs[0];
+            if o[3] > 0.5 {
+                solved.push((i, [o[0], o[1], o[2]]));
+            } else {
+                worklist.push(i);
+            }
+        },
+    );
+    (solved, worklist)
+}
+
 /// One simple simulation step: forces, then a position nudge. Returns
 /// the updated bodies in input order (identical on all members). For a
 /// proper integrator with velocities see [`bh_simulate`].
@@ -249,7 +311,7 @@ mod tests {
 
     fn check_against_direct(n: usize, p: usize, k: usize) {
         let bodies = make_bodies(n, 11);
-        let cfg = BhConfig { n, theta: 0.4, eps: 1e-3, k };
+        let cfg = BhConfig { n, theta: 0.4, eps: 1e-3, k, leaf_group: 1 };
         let rep = spmd(&Machine::real(p), move |cx| bh_forces(cx, &bodies, &cfg));
         // Oracle: sequential BH on the full tree (identical math), and
         // direct sum for physical sanity.
@@ -313,9 +375,26 @@ mod tests {
     }
 
     #[test]
+    fn promoted_leaves_match_plain_recursion() {
+        use fx_core::{assert_promotion_transparent, MachineModel};
+        let n = 192;
+        let bodies = make_bodies(n, 11);
+        // Whole group is one leaf: the entire force phase runs as a
+        // single promotable loop over the irregular traversals.
+        let cfg = BhConfig::new(n).with_leaf_group(4);
+        let m = Machine::simulated(4, MachineModel::paragon());
+        let rep = assert_promotion_transparent(&m, move |cx| bh_forces(cx, &bodies, &cfg));
+        // Same forces as the plain recursion on the same machine.
+        let bodies2 = make_bodies(n, 11);
+        let plain_cfg = BhConfig::new(n);
+        let plain = spmd(&m, move |cx| bh_forces(cx, &bodies2, &plain_cfg));
+        assert_eq!(rep.results[0], plain.results[0]);
+    }
+
+    #[test]
     fn step_moves_particles() {
         let bodies = make_bodies(32, 3);
-        let cfg = BhConfig { n: 32, theta: 0.4, eps: 1e-2, k: 3 };
+        let cfg = BhConfig { n: 32, theta: 0.4, eps: 1e-2, k: 3, leaf_group: 1 };
         let rep = spmd(&Machine::real(2), move |cx| bh_step(cx, &bodies, &cfg, 1e-3));
         let moved = &rep.results[0];
         assert_eq!(moved.len(), 32);
@@ -340,7 +419,7 @@ mod tests {
         let n = 48;
         let bodies = make_bodies(n, 21);
         let vel = vec![[0.0f64; 3]; n];
-        let cfg = BhConfig { n, theta: 0.2, eps: 0.05, k: 4 };
+        let cfg = BhConfig { n, theta: 0.2, eps: 0.05, k: 4, leaf_group: 1 };
         let e0 = total_energy(&bodies, &vel, cfg.eps);
         let rep = spmd(&Machine::real(4), move |cx| {
             bh_simulate(cx, &bodies, &vel, &cfg, 2e-4, 25)

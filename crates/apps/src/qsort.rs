@@ -13,13 +13,23 @@
 //! heavily duplicated inputs still make progress — a detail the paper's
 //! pseudocode leaves to `pick_pivot`.
 
-use fx_core::{proportional_split, Cx, Size};
+use fx_core::{block_range, proportional_split, Cx, Size};
 use fx_darray::{copy_shift1_range, count_matching, repartition_by, DArray1, Dist1, Participation};
 
 /// Sort a distributed array of keys in place. Must be called with the
 /// current group equal to the array's group (the paper's `qsort(a, n)`
 /// subroutine entry).
 pub fn qsort(cx: &mut Cx, a: &mut DArray1<i64>) {
+    qsort_with_leaf(cx, a, 1);
+}
+
+/// [`qsort`] with a promotable base case: the recursive subgroup split
+/// stops at subgroups of `leaf_group` processors, which sort their range
+/// with a bucket pass whose per-bucket sorts run as a heartbeat-promotable
+/// loop ([`Cx::pdo_promote`]) — a member whose buckets drew a skewed share
+/// of the keys donates its tail to peers that finished early.
+/// `leaf_group <= 1` reproduces [`qsort`] exactly.
+pub fn qsort_with_leaf(cx: &mut Cx, a: &mut DArray1<i64>, leaf_group: usize) {
     assert_eq!(
         cx.group().gid(),
         a.group().gid(),
@@ -36,6 +46,9 @@ pub fn qsort(cx: &mut Cx, a: &mut DArray1<i64>) {
         let flops = (n as f64) * (n as f64).log2().max(1.0) * 4.0;
         cx.charge_flops(flops);
         return;
+    }
+    if cx.nprocs() <= leaf_group.max(1) {
+        return bucket_sort_leaf(cx, a);
     }
 
     let pivot = sample_pivot(cx, a);
@@ -58,11 +71,11 @@ pub fn qsort(cx: &mut Cx, a: &mut DArray1<i64>) {
         let mut eq = DArray1::new(cx, &g, n_eq, Dist1::Block, 0i64);
         if n_less > 0 {
             repartition_by(cx, a, |&v| v < pivot, &mut side, &mut eq);
-            qsort(cx, &mut side);
+            qsort_with_leaf(cx, &mut side, leaf_group);
             merge_result(cx, a, &side, &eq, pivot, n_less, n_eq);
         } else {
             repartition_by(cx, a, |&v| v > pivot, &mut side, &mut eq);
-            qsort(cx, &mut side);
+            qsort_with_leaf(cx, &mut side, leaf_group);
             merge_result_high(cx, a, &side, pivot, n_eq);
         }
         return;
@@ -90,14 +103,77 @@ pub fn qsort(cx: &mut Cx, a: &mut DArray1<i64>) {
             repartition_by(cx, &a_geq, |&v| v > pivot, &mut a_gtr, &mut a_eq);
         });
         // Recurse on disjoint subgroups — the dynamically nested regions.
-        tr.on(cx, "lessG", |cx| qsort(cx, &mut a_less));
-        tr.on(cx, "greaterEqG", |cx| qsort(cx, &mut a_gtr));
+        tr.on(cx, "lessG", |cx| qsort_with_leaf(cx, &mut a_less, leaf_group));
+        tr.on(cx, "greaterEqG", |cx| qsort_with_leaf(cx, &mut a_gtr, leaf_group));
         // merge_result: parent scope range assignments.
         copy_shift1_range(cx, a, 0..n_less, &a_less, 0, Participation::Minimal);
         fill_range(cx, a, n_less, n_eq, pivot);
         let off = n_less + n_eq;
         copy_shift1_range(cx, a, off..n, &a_gtr, -(off as isize), Participation::Minimal);
     });
+}
+
+/// Uniform buckets per leaf-group member; more buckets than members is
+/// what gives the heartbeat something to donate when keys skew (a member
+/// can only part with whole buckets, so the bucket count bounds the
+/// donation granularity).
+const BUCKETS_PER_PROC: usize = 16;
+
+/// Promotable leaf base case: replicate the subgroup's keys, split the
+/// key range into `BUCKETS_PER_PROC * q` uniform buckets, and sort the
+/// buckets in a promotable loop (each member owns a block of buckets; a
+/// member whose buckets caught a skewed key mass donates its tail on a
+/// heartbeat — the buckets are computable anywhere because the key set
+/// is replicated, so donated iterations ship no input). The concatenated
+/// sorted buckets are the sorted array.
+fn bucket_sort_leaf(cx: &mut Cx, a: &mut DArray1<i64>) {
+    let n = a.n();
+    let q = cx.nprocs();
+    // Replicate the leaf's keys (vrank concatenation = global order).
+    let keys: Vec<i64> =
+        cx.allgather_vecs(a.local().to_vec()).into_iter().flatten().collect();
+    debug_assert_eq!(keys.len(), n);
+    let min = *keys.iter().min().expect("leaf sorts a non-empty range");
+    let max = *keys.iter().max().expect("leaf sorts a non-empty range");
+    if min == max {
+        return; // all keys equal: already sorted
+    }
+    let nbuckets = BUCKETS_PER_PROC * q;
+    let span = (max as i128 - min as i128 + 1) as u128;
+    let bucket_of =
+        |v: i64| (((v as i128 - min as i128) as u128 * nbuckets as u128 / span) as usize)
+            .min(nbuckets - 1);
+    // Replicated bucketing scan (same charge on every member).
+    cx.charge_flops(n as f64 * 2.0);
+
+    let my_buckets = block_range(0..nbuckets, q, cx.id());
+    let base = my_buckets.start;
+    let mut parts: Vec<Vec<i64>> = vec![Vec::new(); my_buckets.len()];
+    cx.pdo_promote(
+        "bucketSort",
+        0..nbuckets,
+        |_cx, _b| Vec::<i64>::new(),
+        |cx, b, _ins: &[i64]| {
+            let mut vals: Vec<i64> =
+                keys.iter().copied().filter(|&v| bucket_of(v) == b).collect();
+            vals.sort_unstable();
+            let len = vals.len() as f64;
+            cx.charge_flops(len * len.log2().max(1.0) * 4.0);
+            vals
+        },
+        |_cx, b, vals: Vec<i64>| parts[b - base] = vals,
+    );
+
+    // Reassemble: buckets ascend by value and members ascend by bucket,
+    // so the vrank concatenation is the fully sorted array.
+    let sorted: Vec<i64> = cx
+        .allgather_vecs(parts.concat())
+        .into_iter()
+        .flatten()
+        .collect();
+    debug_assert_eq!(sorted.len(), n);
+    a.for_each_owned(|gi, v| *v = sorted[gi]);
+    cx.charge_mem_bytes(std::mem::size_of_val(a.local()) as f64);
 }
 
 /// Pick a pivot that is guaranteed to be a present key: the median of the
@@ -168,6 +244,15 @@ pub fn qsort_global(cx: &mut Cx, keys: &[i64]) -> Vec<i64> {
     a.to_global(cx)
 }
 
+/// [`qsort_global`] with promotable leaf base cases of `leaf_group`
+/// processors (see [`qsort_with_leaf`]).
+pub fn qsort_global_promoted(cx: &mut Cx, keys: &[i64], leaf_group: usize) -> Vec<i64> {
+    let g = cx.group();
+    let mut a = DArray1::from_global(cx, &g, Dist1::Block, keys);
+    qsort_with_leaf(cx, &mut a, leaf_group);
+    a.to_global(cx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +307,38 @@ mod tests {
     #[test]
     fn sorts_already_sorted() {
         check_sort((0..64).collect(), 4);
+    }
+
+    #[test]
+    fn promoted_leaves_sort_and_match_heartbeat_off() {
+        use fx_core::{assert_promotion_transparent, MachineModel};
+        let keys: Vec<i64> =
+            (0..600).map(|i: i64| (i.wrapping_mul(2654435761) % 997) - 498).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        for (p, leaf) in [(4, 4), (8, 4), (6, 3)] {
+            let m = Machine::simulated(p, MachineModel::paragon());
+            let k = keys.clone();
+            let rep =
+                assert_promotion_transparent(&m, move |cx| qsort_global_promoted(cx, &k, leaf));
+            for r in &rep.results {
+                assert_eq!(r, &expect, "p = {p}, leaf_group = {leaf}");
+            }
+        }
+    }
+
+    #[test]
+    fn promoted_leaves_handle_duplicates_and_tiny_inputs() {
+        use fx_core::MachineModel;
+        for keys in [vec![], vec![5], vec![7; 64], (0..40).map(|i| i % 3).collect::<Vec<i64>>()] {
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            let m = Machine::simulated(4, MachineModel::paragon());
+            let rep = spmd(&m, move |cx| qsort_global_promoted(cx, &keys, 4));
+            for r in rep.results {
+                assert_eq!(r, expect);
+            }
+        }
     }
 
     #[test]

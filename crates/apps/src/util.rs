@@ -2,6 +2,7 @@
 //! synthesis, event labels, and the replicated-modules skeleton.
 
 use fx_core::{Cx, Size};
+use fx_kernels::nbody::Body;
 use fx_kernels::Complex;
 
 /// Event label marking the start of one data set's processing.
@@ -38,6 +39,50 @@ pub fn complex_input(d: usize, r: usize, c: usize) -> Complex {
 #[inline]
 pub fn real_input(d: usize, r: usize, c: usize) -> f32 {
     (255.0 * unit_hash(d as u64, r as u64, c as u64)) as f32
+}
+
+/// Deterministic Plummer-sphere particle cloud: density falls off as
+/// `(1 + r²/a²)^(-5/2)` around a dense core, so Barnes-Hut traversals
+/// for core particles open far more cells than halo particles — the
+/// classic irregular-work input for load-balancing experiments (a
+/// uniform cloud gives every particle near-identical cost).
+pub fn make_plummer_bodies(n: usize, seed: u64) -> Vec<Body> {
+    let a = 0.05; // core radius, well inside the unit box
+    (0..n)
+        .map(|i| {
+            let u = unit_hash(seed, i as u64, 1).clamp(1e-6, 0.999);
+            let r = (a / (u.powf(-2.0 / 3.0) - 1.0).sqrt()).min(0.45);
+            let z = 2.0 * unit_hash(seed, i as u64, 2) - 1.0;
+            let phi = std::f64::consts::TAU * unit_hash(seed, i as u64, 3);
+            let s = (1.0 - z * z).sqrt();
+            Body {
+                pos: [
+                    0.5 + r * s * phi.cos(),
+                    0.5 + r * s * phi.sin(),
+                    0.5 + r * z,
+                ],
+                mass: 0.5 + unit_hash(seed, i as u64, 4),
+            }
+        })
+        .collect()
+}
+
+/// Deterministic adversarial key set for sorting: a dense, duplicate-heavy
+/// cluster near zero plus sparse keys of enormous magnitude. The outliers
+/// stretch the key range so uniform splitters (and median-of-medians
+/// pivots) concentrate almost all keys on one side — the worst case for
+/// static partitioning and the best case for work donation.
+pub fn adversarial_keys(n: usize, seed: u64) -> Vec<i64> {
+    (0..n)
+        .map(|i| {
+            let u = unit_hash(seed, i as u64, 9);
+            if i % 16 == 0 {
+                (u * 9.0e17) as i64 // sparse halo of huge keys
+            } else {
+                (u * 1024.0) as i64 // dense duplicate-heavy cluster
+            }
+        })
+        .collect()
 }
 
 /// Replicated data parallelism (Figure 3's structure, generalized):

@@ -70,7 +70,7 @@ proptest! {
     ) {
         let n = 64;
         let bodies = make_bodies(n, seed);
-        let cfg = BhConfig { n, theta: 0.5, eps: 1e-3, k };
+        let cfg = BhConfig { n, theta: 0.5, eps: 1e-3, k, leaf_group: 1 };
         let rep = spmd(&Machine::real(p), move |cx| bh_forces(cx, &bodies, &cfg));
         let tree = BhTree::build(make_bodies(n, seed));
         for (i, b) in tree.bodies.iter().enumerate() {

@@ -16,30 +16,39 @@
 use fx_apps::ffthist::{fft_hist_pipeline_sets, FftHistConfig};
 use fx_bench::{paragon, print_row};
 use fx_core::spmd;
-use fx_runtime::CriticalPathReport;
+use fx_runtime::{CriticalPathReport, Machine};
 
 const P: usize = 16;
 const STAGE_PROCS: [usize; 3] = [6, 8, 2];
 
-fn analyze(cfg: &FftHistConfig) -> (f64, CriticalPathReport) {
+fn analyze(cfg: &FftHistConfig) -> (f64, CriticalPathReport, Machine) {
     let machine = paragon(P).with_profiling(true);
     let rep = spmd(&machine, |cx| {
         let sets: Vec<usize> = (0..cfg.datasets).collect();
         fft_hist_pipeline_sets(cx, cfg, STAGE_PROCS, &sets);
     });
-    (rep.makespan(), rep.critical_path())
+    (rep.makespan(), rep.critical_path(), machine)
 }
 
 fn print_report(cp: &CriticalPathReport) {
-    let widths = [10usize, 12, 12, 12, 12, 7];
+    let widths = [10usize, 14, 12, 12, 12, 12, 7];
     print_row(
-        &["Stage".into(), "compute s".into(), "comm s".into(), "idle s".into(), "total s".into(), "share".into()],
+        &[
+            "Stage".into(),
+            "subgroup".into(),
+            "compute s".into(),
+            "comm s".into(),
+            "idle s".into(),
+            "total s".into(),
+            "share".into(),
+        ],
         &widths,
     );
     for att in cp.by_stage() {
         print_row(
             &[
                 att.stage.clone(),
+                if att.subgroup.is_empty() { "-".into() } else { att.subgroup.clone() },
                 format!("{:.6}", att.compute),
                 format!("{:.6}", att.comm),
                 format!("{:.6}", att.idle),
@@ -72,7 +81,7 @@ fn main() {
     );
     println!();
 
-    let (makespan, cp) = analyze(&cfg);
+    let (makespan, cp, machine) = analyze(&cfg);
     let (compute, comm, idle) = cp.totals();
     assert!(
         (compute + comm + idle - makespan).abs() < 1e-9 * makespan.max(1.0),
@@ -84,9 +93,35 @@ fn main() {
     print_report(&cp);
 
     // Determinism: a second run must attribute every second identically.
-    let (makespan2, cp2) = analyze(&cfg);
+    let (makespan2, cp2, _) = analyze(&cfg);
     assert_eq!(makespan, makespan2, "virtual time must be deterministic");
     assert_eq!(cp.segments, cp2.segments, "critical path must be deterministic");
     println!();
     println!("rerun check: attribution bit-identical across runs");
+
+    // Machine-readable record, stamped with the resolved execution setup
+    // so archived numbers are comparable across environments.
+    let rows: Vec<String> = cp
+        .by_stage()
+        .iter()
+        .map(|att| {
+            format!(
+                "    {{\"stage\": \"{}\", \"subgroup\": \"{}\", \"compute_s\": {:.9}, \
+                 \"comm_s\": {:.9}, \"idle_s\": {:.9}}}",
+                att.stage, att.subgroup, att.compute, att.comm, att.idle
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"critical_path\",\n  \"executor\": \"{}\",\n  \
+         \"dataflow\": \"{}\",\n  \"heartbeat\": \"{}\",\n  \"p\": {P},\n  \
+         \"makespan_s\": {makespan:.9},\n  \"compute_s\": {compute:.9},\n  \
+         \"comm_s\": {comm:.9},\n  \"idle_s\": {idle:.9},\n  \"by_stage\": [\n{}\n  ]\n}}\n",
+        machine.executor,
+        machine.dataflow,
+        machine.heartbeat,
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_critical_path.json", &json).expect("write BENCH_critical_path.json");
+    println!("wrote BENCH_critical_path.json");
 }

@@ -37,7 +37,7 @@ fn main() {
 
     println!("Barnes-Hut (Figure 7): 4096 bodies, theta 0.4, k = 6 replicated levels");
     let bodies = make_bodies(4096, 5);
-    let cfg = BhConfig { n: 4096, theta: 0.4, eps: 1e-3, k: 6 };
+    let cfg = BhConfig { n: 4096, theta: 0.4, eps: 1e-3, k: 6, leaf_group: 1 };
     let t1 = {
         let bodies = bodies.clone();
         spmd(&paragon(1), move |cx| {

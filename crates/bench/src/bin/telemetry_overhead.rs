@@ -127,12 +127,14 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"telemetry_overhead\",\n  \"pattern\": \"credit_windowed_fan_in_chunk\",\n  \
-         \"executor\": \"{}\",\n  \
+         \"executor\": \"{}\",\n  \"dataflow\": \"{}\",\n  \"heartbeat\": \"{}\",\n  \
          \"p\": {p},\n  \"fan_in\": {fan_in},\n  \"msg_bytes\": {},\n  \"rounds\": {rounds},\n  \
          \"reps\": {reps},\n  \"off_ns\": {off_ns:.0},\n  \"on_ns\": {on_ns:.0},\n  \
          \"off_gib_s\": {:.3},\n  \"on_gib_s\": {:.3},\n  \"overhead_frac\": {overhead:.4},\n  \
          \"budget_frac\": 0.05\n}}\n",
         off.executor,
+        off.dataflow,
+        off.heartbeat,
         elems * 8,
         gibs(off_ns),
         gibs(on_ns),

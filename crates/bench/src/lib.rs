@@ -1,6 +1,6 @@
 //! # fx-bench — experiment harnesses
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §6):
+//! One binary per table/figure of the paper (see DESIGN.md §7):
 //!
 //! * `table1`   — Table 1: data-parallel vs best task+data-parallel
 //!   throughput/latency on 64 simulated Paragon nodes;

@@ -21,7 +21,8 @@ use fx_apps::ffthist::{
     fft_hist_dp, fft_hist_pipeline_mode, fft_hist_replicated, FftHistConfig,
 };
 use fx_apps::barnes_hut::{bh_forces, make_bodies, BhConfig};
-use fx_apps::qsort::qsort_global;
+use fx_apps::qsort::{qsort_global, qsort_global_promoted};
+use fx_apps::util::make_plummer_bodies;
 use fx_bench::{fft_hist_chain_model, run_fft_hist_dp, run_fft_hist_mapping, paragon};
 use fx_core::{spmd, Cx, Machine, MachineModel};
 use fx_darray::{assign1, DArray1, Dist1, Participation};
@@ -193,8 +194,50 @@ fn scaling_nested_applications() {
     });
 
     let bodies = make_bodies(256, 5);
-    let cfg = BhConfig { n: 256, theta: 0.4, eps: 1e-3, k: 3 };
+    let cfg = BhConfig { n: 256, theta: 0.4, eps: 1e-3, k: 3, leaf_group: 1 };
     assert_bitwise("scaling/barnes-hut", &paragon(8), move |cx| {
+        bh_forces(cx, &bodies, &cfg);
+    });
+}
+
+/// heartbeat flavor: promotable loops with donations genuinely in
+/// flight. Promotion decisions are pure functions of virtual-time
+/// values published through the board, so the executor — and the host
+/// interleaving it produces — must not change a single clock.
+#[test]
+fn heartbeat_promotable_workloads() {
+    // Synthetic back-loaded ramp: donations guaranteed (asserted below).
+    let ramp = |cx: &mut Cx| {
+        cx.pdo_reduce_promote(
+            "ramp",
+            0..512,
+            0.0f64,
+            |cx, i| {
+                cx.charge_flops(2000.0 + 20.0 * i as f64);
+                (i as f64).sqrt()
+            },
+            |a, b| a + b,
+        )
+    };
+    assert_bitwise("heartbeat/ramp", &paragon(8).with_heartbeat(true), ramp);
+    let rep = spmd(&paragon(8).with_heartbeat(true), ramp);
+    assert!(rep.promote_total().taken > 0, "ramp fired no donations");
+
+    // Quicksort's bucketed promotable base case on high-skewed keys.
+    let keys: Vec<i64> = (0..6000)
+        .map(|i: i64| {
+            let u = (i.wrapping_mul(2654435761) % 100_000) as f64 / 100_000.0;
+            ((1.0 - u * u) * 1.0e9) as i64
+        })
+        .collect();
+    assert_bitwise("heartbeat/qsort", &paragon(8).with_heartbeat(true), move |cx| {
+        qsort_global_promoted(cx, &keys, 8);
+    });
+
+    // Barnes-Hut with the whole group as one promotable leaf.
+    let bodies = make_plummer_bodies(256, 7);
+    let cfg = BhConfig::new(256).with_leaf_group(8);
+    assert_bitwise("heartbeat/barnes-hut", &paragon(8).with_heartbeat(true), move |cx| {
         bh_forces(cx, &bodies, &cfg);
     });
 }

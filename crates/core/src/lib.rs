@@ -43,15 +43,22 @@ mod hpf;
 mod pdo;
 mod partition;
 mod plancache;
+mod promote;
 mod region;
 
 pub use coll::format_phys_ranges;
 pub use cx::{spmd, Cx};
 pub use plancache::PlanCache;
 pub use group::GroupHandle;
-pub use partition::{proportional_split, Size, Subgroup, TaskPartition};
-pub use pdo::IterSched;
+pub use partition::{
+    donation_split, promotion_assignment, proportional_split, Size, Subgroup, TaskPartition,
+};
+pub use pdo::{block_range, IterSched};
+pub use promote::assert_promotion_transparent;
 pub use region::TaskRegion;
 
 // Re-export the runtime surface users need alongside the model.
-pub use fx_runtime::{DataflowMode, Machine, MachineModel, Payload, ProcCtx, RunReport, TimeMode};
+pub use fx_runtime::{
+    DataflowMode, Grant, HeartbeatMode, Machine, MachineModel, Payload, ProcCtx, PromoteStats,
+    RunReport, TimeMode,
+};

@@ -88,20 +88,28 @@ impl Cx<'_> {
     ) -> Box<dyn Iterator<Item = usize>> {
         let p = self.nprocs();
         let me = self.id();
-        let n = range.len();
-        let start = range.start;
         match sched {
             IterSched::Block => {
-                let chunk = n.div_ceil(p).max(1);
-                let lo = (me * chunk).min(n);
-                let hi = ((me + 1) * chunk).min(n);
-                Box::new((start + lo..start + hi).collect::<Vec<_>>().into_iter())
+                Box::new(block_range(range, p, me).collect::<Vec<_>>().into_iter())
             }
             IterSched::Cyclic => {
                 Box::new((range.start + me..range.end).step_by(p).collect::<Vec<_>>().into_iter())
             }
         }
     }
+}
+
+/// The contiguous block of `range` owned by virtual processor `me` of a
+/// `p`-member group under [`IterSched::Block`]: chunks of `ceil(n/p)`
+/// iterations, the last possibly short, trailing members possibly empty.
+/// Exposed because the promotion engine (`Cx::pdo_promote`) splits
+/// donated tails with exactly this rule.
+pub fn block_range(range: std::ops::Range<usize>, p: usize, me: usize) -> std::ops::Range<usize> {
+    let n = range.len();
+    let chunk = n.div_ceil(p).max(1);
+    let lo = (me * chunk).min(n);
+    let hi = ((me + 1) * chunk).min(n);
+    range.start + lo..range.start + hi
 }
 
 #[cfg(test)]

@@ -17,6 +17,14 @@
 //! Task regions nest *dynamically*: a procedure called inside an `ON
 //! SUBGROUP` block may declare its own partition of the subgroup and open
 //! another region (quicksort, Barnes-Hut).
+//!
+//! The partition is *static* for the region's lifetime — the sizes
+//! chosen by [`Cx::task_partition`] never adapt to how the work actually
+//! skews at run time. Promotable loops ([`Cx::pdo_promote`]) are the
+//! dynamic escape hatch: inside an `ON SUBGROUP` block they keep the
+//! static assignment as the default but let an overloaded member donate
+//! its loop tail to subgroup peers that finished early, without changing
+//! the partition or the region structure.
 
 use crate::cx::Cx;
 use crate::partition::TaskPartition;

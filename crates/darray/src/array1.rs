@@ -208,6 +208,52 @@ impl<T: Elem> DArray1<T> {
         }
     }
 
+    /// Promotable owner-computes map: `dst[i] = f(cx, i, self[i])` for
+    /// every global index, each element computed by its block owner by
+    /// default but donatable to idle group peers on a virtual-time
+    /// heartbeat (see `fx_core::Cx::pdo_promote`). Donated intervals ship
+    /// the donor-owned source elements over the chunk transport and the
+    /// results ride back the same way, so `f` may be arbitrarily skewed
+    /// per element without stranding the subgroup behind one owner.
+    ///
+    /// `f` must be compute-only (`charge_*`, no communication) and a pure
+    /// function of `(i, element)`; results are bit-identical with the
+    /// heartbeat on or off. Both arrays must be `Block` over the current
+    /// group, which every member must enter (this is a collective).
+    pub fn promote_map<U: Elem>(
+        &self,
+        cx: &mut Cx,
+        label: &str,
+        dst: &mut DArray1<U>,
+        f: impl Fn(&mut Cx, usize, T) -> U,
+    ) {
+        assert_eq!(
+            cx.group().gid(),
+            self.group.gid(),
+            "promote_map is a collective over the array's group"
+        );
+        assert_eq!(self.dist, Dist1::Block, "promote_map requires a Block source");
+        assert_eq!(dst.dist, Dist1::Block, "promote_map requires a Block destination");
+        assert_eq!(dst.n, self.n, "promote_map arrays must share their extent");
+        assert_eq!(dst.group.gid(), self.group.gid(), "promote_map arrays must share a group");
+        let me = cx.id();
+        // The promotable loop's block split is exactly the HPF Block
+        // ownership map, so iteration `i` lands on `i`'s owner and local
+        // indices are `i - base`.
+        let my_block = fx_core::block_range(0..self.n, cx.nprocs(), me);
+        debug_assert_eq!(my_block.len(), self.local.len());
+        let base = my_block.start;
+        let src_local = &self.local;
+        let dst_local = dst.local.as_mut_slice();
+        cx.pdo_promote(
+            label,
+            0..self.n,
+            |_cx, i| vec![src_local[i - base]],
+            |cx, i, ins| vec![f(cx, i, ins[0])],
+            |_cx, i, outs: Vec<U>| dst_local[i - base] = outs[0],
+        );
+    }
+
     /// Fold over owned elements as `(global_index, element)` pairs.
     pub fn fold_owned<A>(&self, init: A, mut f: impl FnMut(A, usize, T) -> A) -> A {
         let mut acc = init;
@@ -359,6 +405,42 @@ mod tests {
             one && all
         });
         assert!(rep.results.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn promote_map_matches_sequential_and_donates_on_skew() {
+        use fx_core::{MachineModel, PromoteStats};
+        let n = 512usize;
+        let run = |hb: bool| {
+            let m = Machine::simulated(6, MachineModel::paragon()).with_heartbeat(hb);
+            spmd(&m, move |cx| {
+                let g = cx.group();
+                let src = DArray1::from_global(
+                    cx,
+                    &g,
+                    Dist1::Block,
+                    &(0..n as u64).collect::<Vec<_>>(),
+                );
+                let mut dst = DArray1::aligned_with(cx, &src, 0u64);
+                src.promote_map(cx, "square", &mut dst, |cx, i, v| {
+                    // Skewed: the last owner's elements cost the most.
+                    cx.charge_flops(50.0 + (i as f64) * 30.0);
+                    v * v + 1
+                });
+                dst.to_global(cx)
+            })
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.results, on.results, "promotion changed promote_map results");
+        for r in &on.results {
+            for (i, v) in r.iter().enumerate() {
+                assert_eq!(*v, (i as u64) * (i as u64) + 1);
+            }
+        }
+        let total: PromoteStats = on.promote_total();
+        assert!(total.taken > 0, "skewed promote_map never donated");
+        assert!(on.makespan() < off.makespan(), "donation did not improve the makespan");
     }
 
     #[test]

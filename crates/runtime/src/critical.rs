@@ -75,13 +75,37 @@ impl PathSegment {
             None => "<program>",
         }
     }
+
+    /// Subgroup label of the interval: the bracket contents of the
+    /// *deepest* path component carrying one — scope labels that involve
+    /// a processor subset embed its physical ranges in brackets, like
+    /// the dataflow barriers (`barrier[p0-1>p2-3]`) and the promotable
+    /// loops (`pdo[p0-3]`, `promote[12-40<p0]`). `""` when no enclosing
+    /// scope names a subset.
+    pub fn subgroup(&self) -> &str {
+        let Some(p) = &self.path else { return "" };
+        for comp in p.rsplit('/') {
+            if let (Some(open), Some(close)) = (comp.find('['), comp.rfind(']')) {
+                if open < close {
+                    return &comp[open + 1..close];
+                }
+            }
+        }
+        ""
+    }
 }
 
-/// Per-stage attribution of critical-path time.
+/// Per-stage attribution of critical-path time, split per subgroup.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageAttribution {
     /// Stage label (first path component, `"<program>"` for unscoped).
     pub stage: String,
+    /// Physical-range label of the innermost subset scope active during
+    /// the attributed intervals (bracket contents, e.g. `p0-1>p2-3` for
+    /// a dataflow barrier or `p0-3` for a promotable loop); `""` for
+    /// intervals outside any subset scope. Rows of one stage split by
+    /// subgroup, so per-subgroup idle is directly readable.
+    pub subgroup: String,
     /// Critical-path compute seconds inside the stage.
     pub compute: f64,
     /// Critical-path communication seconds (send + recv + wire).
@@ -121,13 +145,17 @@ impl CriticalPathReport {
         t
     }
 
-    /// Critical-path time per stage, sorted by stage label (deterministic
-    /// print order). Stage totals sum to the makespan.
+    /// Critical-path time per `(stage, subgroup)`, sorted by stage label
+    /// then subgroup (deterministic print order). Row totals sum to the
+    /// makespan.
     pub fn by_stage(&self) -> Vec<StageAttribution> {
-        let mut map: std::collections::BTreeMap<String, StageAttribution> = Default::default();
+        let mut map: std::collections::BTreeMap<(String, String), StageAttribution> =
+            Default::default();
         for s in &self.segments {
-            let e = map.entry(s.stage().to_string()).or_insert_with(|| StageAttribution {
+            let key = (s.stage().to_string(), s.subgroup().to_string());
+            let e = map.entry(key).or_insert_with(|| StageAttribution {
                 stage: s.stage().to_string(),
+                subgroup: s.subgroup().to_string(),
                 compute: 0.0,
                 comm: 0.0,
                 idle: 0.0,

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::coro::{YieldKind, Yielder};
+use crate::heartbeat::{HeartbeatBoard, HeartbeatMode, PromoteStats};
 use crate::mailbox::{Envelope, Mailbox};
 use crate::model::TimeMode;
 use crate::pool::Pool;
@@ -33,6 +34,13 @@ pub(crate) struct World {
     /// Resolved barrier-elision mode for this run (`Off` or `On`;
     /// `Validate` is split into two runs before the world is built).
     pub dataflow: DataflowMode,
+    /// Resolved heartbeat promotion mode (`Off` unless simulating).
+    pub heartbeat: HeartbeatMode,
+    /// Virtual seconds of charged compute between heartbeats.
+    pub heartbeat_period: f64,
+    /// Rendezvous board for promotable loops (one slot per processor;
+    /// inert unless a promotable loop runs with the heartbeat on).
+    pub hb_board: HeartbeatBoard,
 }
 
 /// How this processor's blocking points are implemented: by parking the
@@ -96,6 +104,12 @@ pub struct ProcCtx {
     /// Interned label id of each open scope, parallel to `scope_stack`
     /// (maintained only when telemetry is on).
     scope_id_stack: Vec<u32>,
+    /// Virtual seconds of charged compute since the last heartbeat reset.
+    /// Pure accumulation alongside the clock: it never feeds back into
+    /// any charge, so arming the heartbeat cannot move virtual time.
+    hb_acc: f64,
+    /// Promotion counters (see [`PromoteStats`]).
+    promote: PromoteStats,
 }
 
 impl ProcCtx {
@@ -132,6 +146,8 @@ impl ProcCtx {
             tl,
             scope_ids: HashMap::new(),
             scope_id_stack: Vec::new(),
+            hb_acc: 0.0,
+            promote: PromoteStats::default(),
         }
     }
 
@@ -188,6 +204,7 @@ impl ProcCtx {
         if let TimeMode::Simulated(m) = self.world.mode {
             let t0 = self.clock;
             self.clock += m.flops(n);
+            self.hb_acc += self.clock - t0;
             self.span_compute(t0);
         }
     }
@@ -198,6 +215,7 @@ impl ProcCtx {
         if let TimeMode::Simulated(m) = self.world.mode {
             let t0 = self.clock;
             self.clock += m.mem_bytes(n);
+            self.hb_acc += self.clock - t0;
             self.span_compute(t0);
         }
     }
@@ -208,6 +226,7 @@ impl ProcCtx {
         if self.world.mode.is_simulated() {
             let t0 = self.clock;
             self.clock += s;
+            self.hb_acc += self.clock - t0;
             self.span_compute(t0);
         }
     }
@@ -659,6 +678,96 @@ impl ProcCtx {
         self.dataflow_stats
     }
 
+    // ----- heartbeat promotion --------------------------------------------
+
+    /// True when promotable loops should run the promotion protocol:
+    /// the machine armed the heartbeat *and* time is simulated (idle
+    /// detection and profitability are virtual-clock predicates; a
+    /// real-time machine always behaves as `FX_HEARTBEAT=off`).
+    #[inline]
+    pub fn heartbeat_active(&self) -> bool {
+        self.world.heartbeat == HeartbeatMode::On && self.world.mode.is_simulated()
+    }
+
+    /// Virtual seconds of charged compute between heartbeat checks.
+    #[inline]
+    pub fn heartbeat_period(&self) -> f64 {
+        self.world.heartbeat_period
+    }
+
+    /// The machine-wide promotion rendezvous board.
+    #[inline]
+    pub fn heartbeat_board(&self) -> &HeartbeatBoard {
+        &self.world.hb_board
+    }
+
+    /// Charged compute accumulated since the last
+    /// [`ProcCtx::heartbeat_reset`] (monotone between resets; never fed
+    /// back into the clock).
+    #[inline]
+    pub fn heartbeat_elapsed(&self) -> f64 {
+        self.hb_acc
+    }
+
+    /// Restart the heartbeat accumulator (loop entry, or right after a
+    /// heartbeat fired).
+    #[inline]
+    pub fn heartbeat_reset(&mut self) {
+        self.hb_acc = 0.0;
+    }
+
+    /// True once some processor panicked and poisoned the mailboxes.
+    /// Board spin-waits poll this so a promotion rendezvous never hangs
+    /// on a dead peer.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.world.mailboxes[self.rank].is_poisoned()
+    }
+
+    /// The machine's deadlock-watchdog timeout, reused by board
+    /// spin-waits so a wedged promotion rendezvous dies with a
+    /// diagnostic instead of hanging the run.
+    #[inline]
+    pub fn recv_timeout(&self) -> std::time::Duration {
+        self.world.recv_timeout
+    }
+
+    /// Count one heartbeat that published an announcement.
+    #[inline]
+    pub fn note_promotion_attempted(&mut self) {
+        self.promote.attempted += 1;
+        if let Some(sh) = &self.tl {
+            sh.promotions_attempted
+                .store(self.promote.attempted, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` grants written by one heartbeat (one per victim).
+    #[inline]
+    pub fn note_promotions_taken(&mut self, n: u64) {
+        self.promote.taken += n;
+        if let Some(sh) = &self.tl {
+            sh.promotions_taken
+                .store(self.promote.taken, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Count one heartbeat that donated nothing (no eligible victim, or
+    /// the remaining range failed the profitability bound).
+    #[inline]
+    pub fn note_promotion_declined(&mut self) {
+        self.promote.declined += 1;
+        if let Some(sh) = &self.tl {
+            sh.promotions_declined
+                .store(self.promote.declined, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// This processor's promotion counters so far.
+    pub fn promote_stats(&self) -> PromoteStats {
+        self.promote
+    }
+
     /// Count one skipped task region (this processor was not a member of
     /// the region's subgroup). No-op when telemetry is off.
     #[inline]
@@ -687,7 +796,8 @@ impl ProcCtx {
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_parts(
         self,
-    ) -> (f64, EventLog, u64, u64, PlanStats, HostStats, SpanLog, DataflowStats) {
+    ) -> (f64, EventLog, u64, u64, PlanStats, HostStats, SpanLog, DataflowStats, PromoteStats)
+    {
         let t = self.now();
         let mut host = self.host;
         host.pool_hits = self.pool.hits;
@@ -702,6 +812,7 @@ impl ProcCtx {
             host,
             self.spans,
             self.dataflow_stats,
+            self.promote,
         )
     }
 }

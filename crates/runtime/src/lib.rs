@@ -31,6 +31,7 @@ mod coro;
 mod critical;
 mod ctx;
 mod flight;
+mod heartbeat;
 #[cfg(feature = "telemetry-http")]
 mod http;
 mod mailbox;
@@ -46,6 +47,7 @@ mod trace;
 pub use critical::{critical_path, CriticalPathReport, PathKind, PathSegment, StageAttribution};
 pub use ctx::ProcCtx;
 pub use flight::{FlightEvent, FlightKind};
+pub use heartbeat::{Grant, HeartbeatBoard, HeartbeatMode, PeerView, PromoteStats};
 #[cfg(feature = "telemetry-http")]
 pub use http::TelemetryServer;
 pub use model::{MachineModel, TimeMode};

@@ -310,6 +310,13 @@ impl Mailbox {
         st.queues.get(&tag).is_some_and(|q| !q.is_empty())
     }
 
+    /// True once some processor panicked and poisoned this mailbox.
+    /// Host-spin loops that wait on shared state other than the mailbox
+    /// (the heartbeat board) poll this so they unwind instead of hanging.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Wake all waiters with a poison flag after a panic elsewhere.
     ///
     /// Locking each lane before notifying closes the race with a receiver

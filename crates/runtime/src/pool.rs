@@ -355,10 +355,11 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 let out = match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes, plans, host, spans, dataflow) =
+                        let (time, events, msgs, bytes, plans, host, spans, dataflow, promote) =
                             cx.into_parts();
                         Ok(ProcOutcome {
                             value, time, events, msgs, bytes, plans, host, spans, dataflow,
+                            promote,
                         })
                     }
                     Err(payload) => {

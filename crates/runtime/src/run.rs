@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use crate::coro;
 use crate::ctx::{ProcCtx, World};
+use crate::heartbeat::{default_heartbeat_period, HeartbeatBoard, HeartbeatMode, PromoteStats};
 use crate::mailbox::Mailbox;
 use crate::model::{MachineModel, TimeMode};
 use crate::pool::{self, Pool};
@@ -153,6 +154,15 @@ pub struct Machine {
     /// `FX_DATAFLOW` overrides, an explicit [`Machine::with_dataflow`]
     /// overrides everything).
     pub dataflow: DataflowMode,
+    /// Heartbeat work promotion for promotable loops (default `On` for
+    /// simulated machines, `Off` for real-time ones; `FX_HEARTBEAT`
+    /// overrides the default, an explicit [`Machine::with_heartbeat`]
+    /// overrides everything). Inert for programs that never run a
+    /// promotable loop — arming it cannot change their virtual times.
+    pub heartbeat: HeartbeatMode,
+    /// Virtual seconds of charged compute between heartbeats
+    /// (`FX_HEARTBEAT_US` microseconds; default 1000 us).
+    pub heartbeat_period: f64,
 }
 
 impl Machine {
@@ -166,6 +176,8 @@ impl Machine {
             telemetry: None,
             executor: Executor::from_env(Executor::pooled()),
             dataflow: DataflowMode::from_env(DataflowMode::On),
+            heartbeat: HeartbeatMode::from_env(HeartbeatMode::On),
+            heartbeat_period: default_heartbeat_period(),
         }
     }
 
@@ -179,6 +191,8 @@ impl Machine {
             telemetry: None,
             executor: Executor::from_env(Executor::Threaded),
             dataflow: DataflowMode::from_env(DataflowMode::On),
+            heartbeat: HeartbeatMode::from_env(HeartbeatMode::Off),
+            heartbeat_period: default_heartbeat_period(),
         }
     }
 
@@ -199,6 +213,23 @@ impl Machine {
     /// (`On`) and the `FX_DATAFLOW` environment.
     pub fn with_dataflow(mut self, d: DataflowMode) -> Self {
         self.dataflow = d;
+        self
+    }
+
+    /// Arm or disarm heartbeat work promotion, overriding both the mode
+    /// default and the `FX_HEARTBEAT` environment. Promotion only ever
+    /// runs under simulated time; arming it on a real-time machine is a
+    /// no-op.
+    pub fn with_heartbeat(mut self, on: bool) -> Self {
+        self.heartbeat = if on { HeartbeatMode::On } else { HeartbeatMode::Off };
+        self
+    }
+
+    /// Override the heartbeat period (virtual seconds of charged compute
+    /// between promotion checks).
+    pub fn with_heartbeat_period(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "heartbeat period must be positive");
+        self.heartbeat_period = seconds;
         self
     }
 
@@ -248,6 +279,9 @@ pub struct RunReport<R> {
     /// programs that never execute distributed-array statements). For a
     /// `Validate` run these are the counters of the `On` pass.
     pub dataflow: Vec<DataflowStats>,
+    /// Per-processor heartbeat-promotion counters (all-zero for programs
+    /// that never run a promotable loop, or with `FX_HEARTBEAT=off`).
+    pub promote: Vec<PromoteStats>,
     /// Final telemetry snapshot (`None` unless the machine was built with
     /// [`Machine::with_telemetry`]).
     pub telemetry: Option<TelemetrySnapshot>,
@@ -287,6 +321,16 @@ impl<R> RunReport<R> {
         let mut total = DataflowStats::default();
         for d in &self.dataflow {
             total.merge(d);
+        }
+        total
+    }
+
+    /// Machine-wide promotion counters: every processor's
+    /// [`PromoteStats`] merged into one.
+    pub fn promote_total(&self) -> PromoteStats {
+        let mut total = PromoteStats::default();
+        for p in &self.promote {
+            total.merge(p);
         }
         total
     }
@@ -419,6 +463,9 @@ where
         profile: machine.profile,
         telemetry: telemetry.clone(),
         dataflow: machine.dataflow,
+        heartbeat: machine.heartbeat,
+        heartbeat_period: machine.heartbeat_period,
+        hb_board: HeartbeatBoard::new(machine.nprocs),
     });
     let start = Instant::now();
     if let Some(t) = &telemetry {
@@ -474,6 +521,7 @@ where
     let mut host_stats = Vec::with_capacity(machine.nprocs);
     let mut spans = Vec::with_capacity(machine.nprocs);
     let mut dataflow = Vec::with_capacity(machine.nprocs);
+    let mut promote = Vec::with_capacity(machine.nprocs);
     for (rank, out) in outcomes.into_iter().enumerate() {
         let out = out.expect("missing processor outcome despite no panic");
         results.push(out.value);
@@ -486,6 +534,7 @@ where
         host_stats.push(host);
         spans.push(out.spans);
         dataflow.push(out.dataflow);
+        promote.push(out.promote);
     }
     let telemetry_snapshot = telemetry.as_ref().map(|t| t.snapshot());
     RunReport {
@@ -497,6 +546,7 @@ where
         host_stats,
         spans,
         dataflow,
+        promote,
         telemetry: telemetry_snapshot,
         undelivered,
     }
@@ -612,10 +662,11 @@ where
                 let r = catch_unwind(AssertUnwindSafe(|| f(&mut cx)));
                 match r {
                     Ok(value) => {
-                        let (time, events, msgs, bytes, plans, host, spans, dataflow) =
+                        let (time, events, msgs, bytes, plans, host, spans, dataflow, promote) =
                             cx.into_parts();
                         Ok(ProcOutcome {
                             value, time, events, msgs, bytes, plans, host, spans, dataflow,
+                            promote,
                         })
                     }
                     Err(payload) => {
@@ -680,6 +731,7 @@ pub(crate) struct ProcOutcome<R> {
     pub(crate) host: HostStats,
     pub(crate) spans: SpanLog,
     pub(crate) dataflow: DataflowStats,
+    pub(crate) promote: PromoteStats,
 }
 
 #[cfg(test)]

@@ -115,6 +115,9 @@ pub(crate) struct ProcShard {
     pub barriers: AtomicU64,
     pub barriers_elided: AtomicU64,
     pub barriers_kept: AtomicU64,
+    pub promotions_attempted: AtomicU64,
+    pub promotions_taken: AtomicU64,
+    pub promotions_declined: AtomicU64,
     pub region_enters: AtomicU64,
     pub region_skips: AtomicU64,
     pub pool_hits: AtomicU64,
@@ -162,6 +165,9 @@ impl ProcShard {
             barriers: AtomicU64::new(0),
             barriers_elided: AtomicU64::new(0),
             barriers_kept: AtomicU64::new(0),
+            promotions_attempted: AtomicU64::new(0),
+            promotions_taken: AtomicU64::new(0),
+            promotions_declined: AtomicU64::new(0),
             region_enters: AtomicU64::new(0),
             region_skips: AtomicU64::new(0),
             pool_hits: AtomicU64::new(0),
@@ -595,6 +601,9 @@ impl Telemetry {
         per_proc_counter!("fx_barriers", "Group barriers entered.", barriers);
         per_proc_counter!("fx_barriers_elided", "Statement sync points whose subset barrier was elided (interval-covered edge).", barriers_elided);
         per_proc_counter!("fx_barriers_kept", "Statement sync points whose subset barrier ran.", barriers_kept);
+        per_proc_counter!("fx_promotions_attempted", "Heartbeats that published a promotion announcement.", promotions_attempted);
+        per_proc_counter!("fx_promotions_taken", "Loop-tail grants donated to idle subgroup peers.", promotions_taken);
+        per_proc_counter!("fx_promotions_declined", "Heartbeats that donated nothing (no victim or unprofitable).", promotions_declined);
         per_proc_counter!("fx_region_enters", "Task-region scopes entered.", region_enters);
         per_proc_counter!("fx_region_skips", "Task regions skipped (processor not a member).", region_skips);
         per_proc_counter!("fx_pool_hits", "Buffer-pool hits (buffer recycled).", pool_hits);
@@ -751,6 +760,12 @@ pub struct ProcTotals {
     /// Statement sync points whose subset barrier actually ran (edge was
     /// barrier-required: tainted by aliasing writes or root I/O).
     pub barriers_kept: u64,
+    /// Heartbeats that published a promotion announcement.
+    pub promotions_attempted: u64,
+    /// Loop-tail grants donated to idle subgroup peers.
+    pub promotions_taken: u64,
+    /// Heartbeats that donated nothing (no victim or unprofitable).
+    pub promotions_declined: u64,
     /// Task-region scopes entered.
     pub region_enters: u64,
     /// Task regions skipped because the processor was not a member.
@@ -788,6 +803,9 @@ impl ProcTotals {
             barriers: ld(&s.barriers),
             barriers_elided: ld(&s.barriers_elided),
             barriers_kept: ld(&s.barriers_kept),
+            promotions_attempted: ld(&s.promotions_attempted),
+            promotions_taken: ld(&s.promotions_taken),
+            promotions_declined: ld(&s.promotions_declined),
             region_enters: ld(&s.region_enters),
             region_skips: ld(&s.region_skips),
             pool_hits: ld(&s.pool_hits),
@@ -814,6 +832,9 @@ impl ProcTotals {
         self.barriers += other.barriers;
         self.barriers_elided += other.barriers_elided;
         self.barriers_kept += other.barriers_kept;
+        self.promotions_attempted += other.promotions_attempted;
+        self.promotions_taken += other.promotions_taken;
+        self.promotions_declined += other.promotions_declined;
         self.region_enters += other.region_enters;
         self.region_skips += other.region_skips;
         self.pool_hits += other.pool_hits;
@@ -831,6 +852,7 @@ impl ProcTotals {
             "{{\"sends\":{},\"send_bytes\":{},\"chunk_msgs\":{},\"chunk_bytes\":{},\"send_ns\":{},\
              \"recvs\":{},\"recv_bytes\":{},\"recv_wait_ns\":{},\"barriers\":{},\
              \"barriers_elided\":{},\"barriers_kept\":{},\
+             \"promotions_attempted\":{},\"promotions_taken\":{},\"promotions_declined\":{},\
              \"region_enters\":{},\"region_skips\":{},\"pool_hits\":{},\"pool_misses\":{},\
              \"plan_hits\":{},\"plan_misses\":{},\"pack_ns\":{},\"lane_contention\":{},\
              \"progress\":{},\"flight_recorded\":{}}}",
@@ -845,6 +867,9 @@ impl ProcTotals {
             self.barriers,
             self.barriers_elided,
             self.barriers_kept,
+            self.promotions_attempted,
+            self.promotions_taken,
+            self.promotions_declined,
             self.region_enters,
             self.region_skips,
             self.pool_hits,

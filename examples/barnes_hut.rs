@@ -9,12 +9,13 @@
 //! Run with: `cargo run --release --example barnes_hut`
 
 use fx::apps::barnes_hut::{bh_step, make_bodies, BhConfig};
+use fx::apps::util::make_plummer_bodies;
 use fx::kernels::nbody::direct_forces;
 use fx::prelude::*;
 
 fn main() {
     let n = 2048usize;
-    let cfg = BhConfig { n, theta: 0.4, eps: 1e-3, k: 4 };
+    let cfg = BhConfig { n, theta: 0.4, eps: 1e-3, k: 4, leaf_group: 1 };
     let bodies = make_bodies(n, 42);
 
     // Accuracy: compare one force evaluation against the direct O(n²)
@@ -64,5 +65,27 @@ fn main() {
         acc
     });
     println!("after 3 steps of 512 bodies: centre of cloud at {com:.3?}");
+
+    // Irregular input + promotable leaves: a Plummer cluster makes core
+    // particles far more expensive than halo particles, so the static
+    // median split leaves some leaf members overloaded. With heartbeat
+    // work donation (`leaf_group > 1`) they hand their loop tails to
+    // idle peers — same forces, earlier finish.
+    let np = 1024usize;
+    let plummer = make_plummer_bodies(np, 7);
+    let pcfg = BhConfig::new(np).with_leaf_group(4);
+    for hb in [false, true] {
+        let machine = Machine::simulated(8, MachineModel::paragon()).with_heartbeat(hb);
+        let bodies = plummer.clone();
+        let report =
+            spmd(&machine, move |cx| fx::apps::barnes_hut::bh_forces(cx, &bodies, &pcfg));
+        println!(
+            "plummer p = 8 heartbeat {:3}: {np} bodies in {:.4} virtual seconds \
+             ({} donations)",
+            if hb { "on" } else { "off" },
+            report.makespan(),
+            report.promote_total().taken,
+        );
+    }
     println!("ok: nested task-parallel Barnes-Hut matches the sequential tree code");
 }

@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --release --example quicksort`
 
-use fx::apps::qsort::qsort_global;
+use fx::apps::qsort::{qsort_global, qsort_global_promoted};
+use fx::apps::util::adversarial_keys;
 use fx::prelude::*;
 
 fn main() {
@@ -28,4 +29,25 @@ fn main() {
         );
     }
     println!("ok: identical sorted output at every processor count");
+
+    // Adversarial keys: sparse huge outliers stretch the key range so
+    // pivots and uniform buckets skew badly. Promotable leaf base cases
+    // (`leaf_group = 4`) let overloaded members donate bucket sorts to
+    // idle peers on a heartbeat — same output, earlier finish.
+    let bad = adversarial_keys(50_000, 3);
+    let mut bad_sorted = bad.clone();
+    bad_sorted.sort_unstable();
+    for hb in [false, true] {
+        let machine = Machine::simulated(8, MachineModel::paragon()).with_heartbeat(hb);
+        let keys = bad.clone();
+        let report = spmd(&machine, move |cx| qsort_global_promoted(cx, &keys, 4));
+        assert_eq!(report.results[0], bad_sorted, "promoted sort differs");
+        println!(
+            "adversarial p = 8 heartbeat {:3}: {:.4} virtual seconds ({} donations)",
+            if hb { "on" } else { "off" },
+            report.makespan(),
+            report.promote_total().taken,
+        );
+    }
+    println!("ok: promoted sort bit-identical with heartbeat on and off");
 }

@@ -61,7 +61,7 @@ fn all_applications_match_their_oracles() {
 
     // Barnes-Hut.
     let bodies = make_bodies(64, 9);
-    let bcfg = BhConfig { n: 64, theta: 0.4, eps: 1e-3, k: 3 };
+    let bcfg = BhConfig { n: 64, theta: 0.4, eps: 1e-3, k: 3, leaf_group: 1 };
     let rep = spmd(&Machine::real(4), move |cx| bh_forces(cx, &bodies, &bcfg));
     let tree = BhTree::build(make_bodies(64, 9));
     for (i, b) in tree.bodies.iter().enumerate() {

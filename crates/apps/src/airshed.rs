@@ -275,6 +275,35 @@ pub fn airshed_tp(cx: &mut Cx, cfg: &AirshedConfig) -> f64 {
     result
 }
 
+/// Serve a batch of Airshed requests: each request is one full
+/// simulation day (the configured hour stream), and the group leader
+/// reports each request's checksum and completion virtual time. Under
+/// the task-parallel version the checksum lives on the main group, whose
+/// leader is world virtual rank 1 (rank 0 is the input task), so it is
+/// broadcast to the reporting leader first — scheduling changes, the
+/// answer does not: the reported checksum is bit-identical to the
+/// equivalent one-shot [`airshed_dp`] / [`airshed_tp`] run.
+pub fn airshed_requests(
+    cx: &mut Cx,
+    cfg: &AirshedConfig,
+    task_parallel: bool,
+    reqs: &[usize],
+) -> Vec<crate::util::ReqCompletion<f64>> {
+    let mut out = Vec::new();
+    for &req in reqs {
+        let cs = if task_parallel {
+            let v = airshed_tp(cx, cfg);
+            cx.bcast(1, v)
+        } else {
+            airshed_dp(cx, cfg)
+        };
+        if cx.id() == 0 {
+            out.push(crate::util::ReqCompletion { req, done: cx.now(), output: cs });
+        }
+    }
+    out
+}
+
 /// Predicted per-hour times of the two program versions on `p`
 /// processors under `model` — the little performance model behind
 /// [`airshed_best`]. Returns `(t_dp, t_tp)`.
@@ -373,6 +402,31 @@ mod tests {
             output_seconds: 0.05,
             chem_flops_per_cell: 100.0,
             trans_flops_per_cell: 20.0,
+        }
+    }
+
+    #[test]
+    fn request_adapter_reports_oneshot_identical_checksums() {
+        let cfg = tiny_cfg();
+        let oneshot_dp =
+            spmd(&Machine::simulated(4, MachineModel::paragon()), move |cx| airshed_dp(cx, &cfg))
+                .results[0];
+        let oneshot_tp =
+            spmd(&Machine::simulated(4, MachineModel::paragon()), move |cx| airshed_tp(cx, &cfg))
+                .results[1];
+        for tp in [false, true] {
+            let rep = spmd(&Machine::simulated(4, MachineModel::paragon()), move |cx| {
+                airshed_requests(cx, &cfg, tp, &[7, 8])
+            });
+            let completions = &rep.results[0];
+            assert_eq!(completions.len(), 2, "leader reports both requests");
+            let expect = if tp { oneshot_tp } else { oneshot_dp };
+            for c in completions {
+                assert_eq!(c.output.to_bits(), expect.to_bits(), "tp={tp}: bit-identical checksum");
+            }
+            for r in &rep.results[1..] {
+                assert!(r.is_empty(), "only the leader reports");
+            }
         }
     }
 

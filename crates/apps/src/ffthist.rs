@@ -23,7 +23,7 @@ use fx_kernels::fft::{fft2d_reference, fft_flops, fft_in_place};
 use fx_kernels::hist::{hist_flops, histogram_magnitudes};
 use fx_kernels::Complex;
 
-use crate::util::{complex_input, SET_DONE, SET_START};
+use crate::util::{complex_input, ReqCompletion, SET_DONE, SET_START};
 
 /// Problem parameters for one FFT-Hist run.
 #[derive(Debug, Clone, Copy)]
@@ -338,6 +338,162 @@ pub fn fft_hist_replicated(
     })
 }
 
+// ----- serving adapters ---------------------------------------------------
+//
+// The `_requests` variants run a *batch* of requests — `(request index,
+// dataset id)` pairs — through the same stage kernels and report each
+// request's completion virtual time on one canonical processor, so a
+// serving layer can account per-request latency. They reuse the exact
+// assignments and collectives of the one-shot variants: outputs are
+// bit-identical to the equivalent one-shot run by construction.
+
+/// Data-parallel FFT-Hist over a batch of requests. The group leader
+/// (virtual rank 0) reports every completion; other members return an
+/// empty vec.
+pub fn fft_hist_dp_requests(
+    cx: &mut Cx,
+    cfg: &FftHistConfig,
+    reqs: &[(usize, usize)],
+) -> Vec<ReqCompletion<Vec<u64>>> {
+    let g = cx.group();
+    let n = cfg.n;
+    let mut out = Vec::new();
+    let mut a1 = DArray2::new(cx, &g, [n, n], (Dist::Star, Dist::Block), Complex::ZERO);
+    let mut a2 = DArray2::new(cx, &g, [n, n], (Dist::Block, Dist::Star), Complex::ZERO);
+    for &(req, d) in reqs {
+        if cx.id() == 0 {
+            cx.record(SET_START);
+        }
+        fill_input(cx, &mut a1, d);
+        cffts_local(cx, &mut a1);
+        assign2(cx, &mut a2, &a1);
+        rffts_local(cx, &mut a2);
+        let h = hist_local(cx, &a2, cfg.nbins, cfg.max_mag);
+        if cx.id() == 0 {
+            cx.record(SET_DONE);
+            out.push(ReqCompletion { req, done: cx.now(), output: h });
+        }
+    }
+    out
+}
+
+/// Segmented (pipelined) FFT-Hist over a batch of requests: same stage
+/// segmentation contract as [`fft_hist_segmented`]. The last segment's
+/// leader reports completions.
+pub fn fft_hist_segmented_requests(
+    cx: &mut Cx,
+    cfg: &FftHistConfig,
+    reqs: &[(usize, usize)],
+    seg_of_stage: [usize; 3],
+    seg_procs: &[usize],
+) -> Vec<ReqCompletion<Vec<u64>>> {
+    assert!(seg_of_stage[0] == 0, "segments start at 0");
+    assert!(
+        seg_of_stage.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1),
+        "segments must be contiguous and non-decreasing"
+    );
+    let nseg = seg_of_stage[2] + 1;
+    assert_eq!(seg_procs.len(), nseg, "one processor count per segment");
+    assert_eq!(seg_procs.iter().sum::<usize>(), cx.nprocs(), "segments must use the whole group");
+    if nseg == 1 {
+        return fft_hist_dp_requests(cx, cfg, reqs);
+    }
+
+    let names: Vec<String> = (0..nseg).map(|s| format!("S{s}")).collect();
+    let spec: Vec<(&str, Size)> =
+        names.iter().zip(seg_procs).map(|(n, &p)| (n.as_str(), Size::Procs(p))).collect();
+    let part = cx.task_partition(&spec);
+    let g: Vec<_> = names.iter().map(|n| part.group(n)).collect();
+    let n = cfg.n;
+    let mut a1 =
+        DArray2::new(cx, &g[seg_of_stage[0]], [n, n], (Dist::Star, Dist::Block), Complex::ZERO);
+    let mut a2 =
+        DArray2::new(cx, &g[seg_of_stage[1]], [n, n], (Dist::Block, Dist::Star), Complex::ZERO);
+    let mut a3 = (seg_of_stage[2] != seg_of_stage[1]).then(|| {
+        DArray2::new(cx, &g[seg_of_stage[2]], [n, n], (Dist::Block, Dist::Star), Complex::ZERO)
+    });
+    let mut out = Vec::new();
+
+    cx.task_region(&part, |cx, tr| {
+        for &(req, d) in reqs {
+            tr.on(cx, &names[seg_of_stage[0]], |cx| {
+                if cx.id() == 0 {
+                    cx.record(SET_START);
+                }
+                fill_input(cx, &mut a1, d);
+                cffts_local(cx, &mut a1);
+            });
+            assign2(cx, &mut a2, &a1);
+            tr.on(cx, &names[seg_of_stage[1]], |cx| rffts_local(cx, &mut a2));
+            let hist_input = match &mut a3 {
+                Some(a3) => {
+                    assign2(cx, a3, &a2);
+                    &*a3
+                }
+                None => &a2,
+            };
+            if let Some(Some(c)) = tr.on(cx, &names[seg_of_stage[2]], |cx| {
+                let h = hist_local(cx, hist_input, cfg.nbins, cfg.max_mag);
+                if cx.id() == 0 {
+                    cx.record(SET_DONE);
+                    Some(ReqCompletion { req, done: cx.now(), output: h })
+                } else {
+                    None
+                }
+            }) {
+                out.push(c);
+            }
+        }
+    });
+    out
+}
+
+/// Replicated FFT-Hist over a batch of requests: batch position `i` is
+/// dealt to module `i % replicas` (a deterministic round-robin), and each
+/// module's leader reports its own completions. With
+/// `pipeline = Some(stage_procs)` every module is itself a pipeline.
+pub fn fft_hist_replicated_requests(
+    cx: &mut Cx,
+    cfg: &FftHistConfig,
+    replicas: usize,
+    pipeline: Option<[usize; 3]>,
+    reqs: &[(usize, usize)],
+) -> Vec<ReqCompletion<Vec<u64>>> {
+    let reqs = reqs.to_vec();
+    crate::util::replicated_modules(cx, replicas, move |cx, rep| {
+        let mine: Vec<(usize, usize)> = reqs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % replicas == rep)
+            .map(|(_, &r)| r)
+            .collect();
+        match pipeline {
+            None => fft_hist_dp_requests(cx, cfg, &mine),
+            Some(stage) => fft_hist_segmented_requests(cx, cfg, &mine, [0, 1, 2], &stage),
+        }
+    })
+}
+
+/// Serve a batch of requests under any mapping (the dispatch a serving
+/// layer uses). Completions come back on the leader(s) of the group(s)
+/// that produce results; collect across processors via the run report.
+pub fn fft_hist_requests(
+    cx: &mut Cx,
+    cfg: &FftHistConfig,
+    mapping: FftHistMapping,
+    reqs: &[(usize, usize)],
+) -> Vec<ReqCompletion<Vec<u64>>> {
+    match mapping {
+        FftHistMapping::DataParallel => fft_hist_dp_requests(cx, cfg, reqs),
+        FftHistMapping::Pipeline(stage) => {
+            fft_hist_segmented_requests(cx, cfg, reqs, [0, 1, 2], &stage)
+        }
+        FftHistMapping::Replicated { replicas, pipeline } => {
+            fft_hist_replicated_requests(cx, cfg, replicas, pipeline, reqs)
+        }
+    }
+}
+
 /// Run FFT-Hist under any mapping (the dispatch used by the Table 1 and
 /// Figure 5 harnesses).
 pub fn run_fft_hist(cx: &mut Cx, cfg: &FftHistConfig, mapping: FftHistMapping) {
@@ -471,6 +627,36 @@ mod tests {
         });
         // 4 runs x 2 datasets each: every variant completed the stream.
         assert_eq!(rep.events_named(SET_DONE).len(), 8);
+    }
+
+    #[test]
+    fn request_adapters_match_reference_and_report_leaders_only() {
+        let cfg = small_cfg();
+        let reqs: Vec<(usize, usize)> = vec![(10, 0), (11, 2), (12, 1)];
+        let mappings = [
+            FftHistMapping::DataParallel,
+            FftHistMapping::Pipeline([2, 2, 2]),
+            FftHistMapping::Replicated { replicas: 2, pipeline: None },
+            FftHistMapping::Replicated { replicas: 2, pipeline: Some([1, 1, 1]) },
+        ];
+        for mapping in mappings {
+            let reqs2 = reqs.clone();
+            let rep = spmd(&Machine::simulated(6, MachineModel::paragon()), move |cx| {
+                fft_hist_requests(cx, &cfg, mapping, &reqs2)
+            });
+            let mut completions: Vec<_> = rep.results.iter().flatten().collect();
+            completions.sort_by_key(|c| c.req);
+            assert_eq!(
+                completions.iter().map(|c| c.req).collect::<Vec<_>>(),
+                vec![10, 11, 12],
+                "{mapping:?}: every request completes exactly once"
+            );
+            for c in &completions {
+                let d = reqs.iter().find(|(r, _)| *r == c.req).unwrap().1;
+                assert_eq!(c.output, reference_histogram(&cfg, d), "{mapping:?} req {}", c.req);
+                assert!(c.done > 0.0, "{mapping:?}: completion time must advance");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,23 @@ pub const SET_START: &str = "set start";
 /// Event label marking the completion of one data set's processing.
 pub const SET_DONE: &str = "set done";
 
+/// One served request's completion, as observed by the canonical
+/// completing processor (the lowest-ranked member of the group that
+/// produces the result). `req` is the caller-side request index, `done`
+/// the completing processor's virtual time right after the result is
+/// available, and `output` the request's result — which must be
+/// bit-identical to the same computation run one-shot, because batching
+/// and mapping change scheduling, never answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReqCompletion<T> {
+    /// Caller-side request index (position in the submitted batch/trace).
+    pub req: usize,
+    /// Virtual completion time on the completing processor.
+    pub done: f64,
+    /// The request's output.
+    pub output: T,
+}
+
 /// Cheap deterministic hash → `[0, 1)` float. Used to synthesize input
 /// elements on demand (each processor generates exactly the elements it
 /// owns — no replicated generation work, mirroring a parallel sensor

@@ -1,0 +1,329 @@
+//! Capacity planning for Fx-as-a-service: sweep offered load × subgroup
+//! mapping, locate the throughput knee, and verify the paper's Table 1
+//! latency-vs-throughput trade-off under queueing.
+//!
+//! For each mapping the harness first saturates the server (open-loop
+//! arrivals far above capacity, queue sized to shed nothing) to measure
+//! its service rate, then sweeps offered load as fractions/multiples of
+//! that rate with a small admission queue, recording achieved
+//! throughput, shed fraction and latency quantiles per point. The
+//! *knee* is the highest offered load the server still absorbs: <1%
+//! shed and p99 latency within 3x of the lightest load's (past the
+//! knee, queueing delay compounds and the tail explodes).
+//!
+//! Table 1's trade-off, restated for serving: the best task+data
+//! mapping saturates at a higher request rate than pure data
+//! parallelism, but pure data parallelism answers a lightly-loaded
+//! request faster. Both orderings are asserted here.
+//!
+//! Run with: `cargo run --release -p fx-bench --bin serve_capacity`
+//! (`--smoke` for the small CI configuration, which also writes
+//! `results/serve_smoke.om` for the exporter format check).
+
+use std::sync::Arc;
+
+use fx_apps::ffthist::{reference_histogram, FftHistConfig, FftHistMapping};
+use fx_bench::paragon;
+use fx_runtime::Telemetry;
+use fx_serve::{
+    poisson_trace, FftHistServable, ServeConfig, ServeReport, Server, ShedPolicy, TenantSpec,
+};
+
+struct Shape {
+    p: usize,
+    n: usize,
+    requests: usize,
+    mappings: Vec<(&'static str, FftHistMapping)>,
+}
+
+fn shape(smoke: bool) -> Shape {
+    if smoke {
+        Shape {
+            p: 6,
+            n: 16,
+            requests: 24,
+            mappings: vec![
+                ("dp", FftHistMapping::DataParallel),
+                ("pipe-1-4-1", FftHistMapping::Pipeline([1, 4, 1])),
+                ("repl-2x", FftHistMapping::Replicated { replicas: 2, pipeline: None }),
+            ],
+        }
+    } else {
+        Shape {
+            p: 16,
+            n: 64,
+            requests: 120,
+            mappings: vec![
+                ("dp", FftHistMapping::DataParallel),
+                ("pipe-2-12-2", FftHistMapping::Pipeline([2, 12, 2])),
+                ("repl-4x", FftHistMapping::Replicated { replicas: 4, pipeline: None }),
+            ],
+        }
+    }
+}
+
+/// Offered-load multipliers of the measured saturation rate.
+const LOAD_FRACTIONS: [f64; 7] = [0.25, 0.5, 0.75, 0.9, 1.0, 1.5, 2.0];
+const SMOKE_FRACTIONS: [f64; 3] = [0.5, 1.0, 2.0];
+
+struct Point {
+    offered: f64,
+    achieved: f64,
+    shed_frac: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+fn serve_at(
+    sh: &Shape,
+    mapping: FftHistMapping,
+    rate: f64,
+    requests: usize,
+    cfg: ServeConfig,
+    telemetry: Option<Arc<Telemetry>>,
+) -> (Vec<fx_serve::ServeRequest>, ServeReport<Vec<u64>>) {
+    // Two tenants splitting the offered rate 3:1 so the per-tenant
+    // accounting path is exercised by every sweep point.
+    let tenants = vec![
+        TenantSpec::new("gold", rate * 0.75, (requests * 3) / 4),
+        TenantSpec::new("bronze", rate * 0.25, requests / 4),
+    ];
+    let trace = poisson_trace(&tenants, 42);
+    let mut machine = paragon(sh.p);
+    if let Some(t) = telemetry {
+        machine = machine.with_telemetry(t);
+    }
+    let fcfg = FftHistConfig::new(sh.n, 1);
+    let rep = Server::new(machine, FftHistServable { cfg: fcfg, mapping })
+        .with_config(cfg)
+        .serve(&trace, &["gold", "bronze"]);
+    (trace, rep)
+}
+
+/// Achieved service rate: completions over the span from first arrival
+/// to last completion. Unlike run makespan (which at low load measures
+/// the arrival span plus idle gaps), this equals the offered rate while
+/// the server keeps up and flattens at the service rate past the knee.
+fn achieved_rate(trace: &[fx_serve::ServeRequest], rep: &ServeReport<Vec<u64>>) -> f64 {
+    let first = trace.first().map(|r| r.arrival).unwrap_or(0.0);
+    let last = rep.completions.iter().map(|c| c.done).fold(0.0f64, f64::max);
+    if last > first {
+        rep.completed() as f64 / (last - first)
+    } else {
+        0.0
+    }
+}
+
+/// Sweep-table latency quantiles: the gold tenant's SLO histogram
+/// readings (3/4 of the offered traffic), i.e. exactly what a tenant
+/// dashboard would report.
+fn quantiles(rep: &ServeReport<Vec<u64>>) -> (u64, u64, u64) {
+    let gold = rep.tenant("gold").expect("gold tenant registered");
+    (gold.p50_ns, gold.p99_ns, gold.p999_ns)
+}
+
+fn sweep(sh: &Shape, name: &str, mapping: FftHistMapping, smoke: bool) -> (f64, Vec<Point>, usize) {
+    // Saturation probe: open-loop arrivals far beyond capacity, queue
+    // big enough that nothing sheds — achieved throughput is the
+    // service rate of this mapping.
+    let sat_req = sh.requests.min(60);
+    let (sat_trace, sat_rep) = serve_at(
+        sh,
+        mapping,
+        1e6,
+        sat_req,
+        ServeConfig { queue_cap: sat_req + 1, batch_max: 4, shed: ShedPolicy::DropNewest },
+        None,
+    );
+    assert!(sat_rep.conserved(), "{name}: saturation probe must conserve counters");
+    assert_eq!(sat_rep.completed(), sat_req, "{name}: saturation probe sheds nothing");
+    let sat = achieved_rate(&sat_trace, &sat_rep);
+
+    let fractions: &[f64] = if smoke { &SMOKE_FRACTIONS } else { &LOAD_FRACTIONS };
+    let mut points = Vec::new();
+    for &f in fractions {
+        let offered = sat * f;
+        let (trace, rep) = serve_at(
+            sh,
+            mapping,
+            offered,
+            sh.requests,
+            ServeConfig { queue_cap: 8, batch_max: 4, shed: ShedPolicy::DropNewest },
+            None,
+        );
+        assert!(rep.conserved(), "{name}: sweep point must conserve counters");
+        let arrived: u64 = rep.tenants.iter().map(|t| t.arrived).sum();
+        let shed: u64 = rep.tenants.iter().map(|t| t.shed).sum();
+        let (p50, p99, p999) = quantiles(&rep);
+        points.push(Point {
+            offered,
+            achieved: achieved_rate(&trace, &rep),
+            shed_frac: shed as f64 / arrived.max(1) as f64,
+            p50_ns: p50,
+            p99_ns: p99,
+            p999_ns: p999,
+        });
+    }
+    // Knee: the highest offered load the server still absorbs — nothing
+    // shed and tail latency not yet exploded (p99 within 3x of the
+    // lightest load's p99; past the knee queueing delay compounds per
+    // round and blows through that band immediately).
+    let base_p99 = points[0].p99_ns.max(1);
+    let knee = points
+        .iter()
+        .rposition(|pt| pt.shed_frac < 0.01 && pt.p99_ns <= 3 * base_p99)
+        .unwrap_or(0);
+    (sat, points, knee)
+}
+
+fn identity_spot_check(sh: &Shape) {
+    let fcfg = FftHistConfig::new(sh.n, 1);
+    let (trace, rep) = serve_at(
+        sh,
+        FftHistMapping::DataParallel,
+        1e5,
+        8,
+        ServeConfig { queue_cap: 16, batch_max: 4, shed: ShedPolicy::DropNewest },
+        None,
+    );
+    for c in &rep.completions {
+        assert_eq!(
+            c.output,
+            reference_histogram(&fcfg, trace[c.req].dataset),
+            "served output diverged from the one-shot oracle"
+        );
+    }
+    println!("identity spot-check: {} served answers match the oracle", rep.completions.len());
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sh = shape(smoke);
+    println!(
+        "serve capacity: FFT-Hist {n}x{n} on {p} simulated Paragon nodes ({} requests/point)",
+        sh.requests,
+        n = sh.n,
+        p = sh.p
+    );
+    identity_spot_check(&sh);
+
+    let mut rows = Vec::new();
+    for (name, mapping) in &sh.mappings {
+        let (sat, points, knee) = sweep(&sh, name, *mapping, smoke);
+        println!("\nmapping {name}: saturation {sat:.2} req/s, knee at {:.2} offered req/s", points[knee].offered);
+        println!(
+            "  {:>10} {:>10} {:>7} {:>11} {:>11} {:>11}",
+            "offered/s", "achieved/s", "shed%", "p50 ms", "p99 ms", "p999 ms"
+        );
+        for (i, pt) in points.iter().enumerate() {
+            println!(
+                "  {:>10.2} {:>10.2} {:>6.1}% {:>11.3} {:>11.3} {:>11.3}{}",
+                pt.offered,
+                pt.achieved,
+                100.0 * pt.shed_frac,
+                pt.p50_ns as f64 / 1e6,
+                pt.p99_ns as f64 / 1e6,
+                pt.p999_ns as f64 / 1e6,
+                if i == knee { "   <- knee" } else { "" }
+            );
+        }
+        rows.push((*name, sat, points, knee));
+    }
+
+    // Table 1's trade-off, restated for serving.
+    let dp = rows.iter().find(|(n, ..)| *n == "dp").expect("dp row");
+    let best = rows
+        .iter()
+        .filter(|(n, ..)| *n != "dp")
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("a task+data mapping");
+    println!(
+        "\nTable 1 ordering: best mapping ({}) saturates at {:.2} req/s vs dp {:.2} req/s",
+        best.0, best.1, dp.1
+    );
+    assert!(
+        best.1 > dp.1,
+        "Table 1 throughput ordering violated: best {} <= dp {}",
+        best.1,
+        dp.1
+    );
+    let dp_low = &dp.2[0];
+    let best_low = &best.2[0];
+    println!(
+        "low-load p50: dp {:.3} ms vs {} {:.3} ms",
+        dp_low.p50_ns as f64 / 1e6,
+        best.0,
+        best_low.p50_ns as f64 / 1e6
+    );
+    assert!(
+        dp_low.p50_ns <= best_low.p50_ns,
+        "Table 1 latency ordering violated: dp low-load p50 {} > best {}",
+        dp_low.p50_ns,
+        best_low.p50_ns
+    );
+
+    // Machine-readable results.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"program\": \"fft-hist\",\n  \"smoke\": {smoke},\n  \"p\": {},\n  \"n\": {},\n  \"requests_per_point\": {},\n  \"mappings\": [\n",
+        sh.p, sh.n, sh.requests
+    ));
+    for (i, (name, sat, points, knee)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mapping\": \"{}\", \"saturation_thr\": {:.4}, \"knee_offered\": {:.4}, \"sweep\": [\n",
+            json_escape(name),
+            sat,
+            points[*knee].offered
+        ));
+        for (j, pt) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"offered\": {:.4}, \"achieved\": {:.4}, \"shed_frac\": {:.4}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
+                pt.offered,
+                pt.achieved,
+                pt.shed_frac,
+                pt.p50_ns,
+                pt.p99_ns,
+                pt.p999_ns,
+                if j + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"table1_ordering\": {{\"best_mapping\": \"{}\", \"thr_ratio\": {:.4}, \"dp_low_load_p50_ns\": {}, \"best_low_load_p50_ns\": {}}}\n}}\n",
+        json_escape(best.0),
+        best.1 / dp.1,
+        dp_low.p50_ns,
+        best_low.p50_ns
+    ));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let out = if smoke { "results/BENCH_serve_smoke.json" } else { "BENCH_serve.json" };
+    std::fs::write(out, &json).expect("write bench json");
+    println!("\nwrote {out}");
+
+    if smoke {
+        // An OpenMetrics render with per-tenant serve metrics for the
+        // CI format validator.
+        let tele = Arc::new(Telemetry::new());
+        let (_, rep) = serve_at(
+            &sh,
+            FftHistMapping::DataParallel,
+            1e5,
+            12,
+            ServeConfig { queue_cap: 4, batch_max: 2, shed: ShedPolicy::DropNewest },
+            Some(tele.clone()),
+        );
+        assert!(rep.conserved());
+        std::fs::write("results/serve_smoke.om", tele.render_openmetrics())
+            .expect("write serve_smoke.om");
+        println!("wrote results/serve_smoke.om");
+    }
+}

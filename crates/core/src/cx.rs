@@ -288,6 +288,16 @@ impl<'a> Cx<'a> {
         self.rt
     }
 
+    /// Declare this processor idle (`true`) or active (`false`) for the
+    /// deadlock watchdog and stall sampler. A serving loop sets this
+    /// around waits for new work so legitimate quiescence between request
+    /// arrivals is not diagnosed as a stalled exchange; see
+    /// [`fx_runtime::ProcCtx::set_idle`].
+    #[inline]
+    pub fn set_idle(&mut self, on: bool) {
+        self.rt.set_idle(on);
+    }
+
     // ----- communication-plan cache ---------------------------------------
 
     /// Look up a communication plan by `key`, building it with `build` on a

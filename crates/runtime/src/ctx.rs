@@ -41,6 +41,11 @@ pub(crate) struct World {
     /// Rendezvous board for promotable loops (one slot per processor;
     /// inert unless a promotable loop runs with the heartbeat on).
     pub hb_board: HeartbeatBoard,
+    /// Per-processor declared-idle flags (see [`ProcCtx::set_idle`]): a
+    /// processor that reads true is legitimately quiescent — waiting for
+    /// work to arrive, not deadlocked — so recv timeouts are forgiven and
+    /// the stall sampler skips it.
+    pub idle: Vec<std::sync::atomic::AtomicBool>,
 }
 
 /// How this processor's blocking points are implemented: by parking the
@@ -410,12 +415,21 @@ impl ProcCtx {
             // post-mortem flight dump wants to show.
             sh.begin_wait(src, tag);
         }
+        let idle = &self.world.idle[self.rank];
         let env = match &self.exec {
             ExecCtx::Thread => {
-                self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout)
+                self.world.mailboxes[self.rank].take(src, tag, self.rank, self.world.recv_timeout, idle)
             }
-            ExecCtx::Pooled { pool, proc, yielder } => self.world.mailboxes[self.rank]
-                .take_pooled(src, tag, self.rank, self.world.recv_timeout, pool, *proc, yielder),
+            ExecCtx::Pooled { pool, proc, yielder } => self.world.mailboxes[self.rank].take_pooled(
+                src,
+                tag,
+                self.rank,
+                self.world.recv_timeout,
+                pool,
+                *proc,
+                yielder,
+                idle,
+            ),
         };
         let waited = t0.elapsed().as_nanos() as u64;
         self.host.recv_wait_ns += waited;
@@ -730,6 +744,24 @@ impl ProcCtx {
     #[inline]
     pub fn recv_timeout(&self) -> std::time::Duration {
         self.world.recv_timeout
+    }
+
+    /// Declare this processor idle (`true`) or active (`false`).
+    ///
+    /// A serving loop legitimately quiesces between request arrivals:
+    /// its processors block in receives with nothing in flight, which is
+    /// exactly the signature the deadlock watchdog and the stall sampler
+    /// are built to report. While a processor is declared idle its recv
+    /// timeouts are forgiven (the wait just continues) and the stall
+    /// sampler skips it. Clearing the flag re-arms both within one
+    /// timeout period. The flag is per-processor, starts `false`, and
+    /// must only be set while the processor is genuinely waiting for new
+    /// work — a deadlock inside request processing still triggers the
+    /// full diagnostic because the serving loop clears the flag before
+    /// dispatching a batch.
+    #[inline]
+    pub fn set_idle(&self, on: bool) {
+        self.world.idle[self.rank].store(on, std::sync::atomic::Ordering::Release);
     }
 
     /// Count one heartbeat that published an announcement.

@@ -67,12 +67,37 @@ fn accept_loop(listener: TcpListener, telemetry: Arc<Telemetry>, stop: Arc<Atomi
     }
 }
 
+/// Upper bound on bytes read while looking for the request line's CRLF.
+/// Generous for any `GET <path> HTTP/1.1` a scraper sends; a client that
+/// exceeds it is answered from whatever arrived (which yields a 404).
+const MAX_REQUEST_LINE: usize = 8192;
+
+/// Read from `stream` until the request line's terminating `\r\n` has
+/// arrived, then return the line. A request line may arrive split across
+/// several TCP segments (small MSS, Nagle-off byte-at-a-time writers), so
+/// a single `read()` is not enough: the old single-read parse misparsed
+/// the path whenever the first segment ended mid-line (and served the
+/// wrong route on a 0-byte first read). Bounded by [`MAX_REQUEST_LINE`];
+/// stops early on EOF.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(2).any(|w| w == b"\r\n") && buf.len() < MAX_REQUEST_LINE {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break; // EOF before CRLF: parse what we have.
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let line_end = buf.windows(2).position(|w| w == b"\r\n").unwrap_or(buf.len());
+    Ok(String::from_utf8_lossy(&buf[..line_end]).into_owned())
+}
+
 fn serve_one(stream: &mut TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
-    // Read just enough for the request line; ignore headers and body.
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
+    // Read the full request line (however many segments it takes); ignore
+    // headers and body.
+    let request = read_request_line(stream)?;
     let path = request.split_whitespace().nth(1).unwrap_or("/");
 
     let (status, content_type, body) = match path {
@@ -143,5 +168,39 @@ mod tests {
         // The port is released; a fresh bind to the same address works.
         let again = TcpListener::bind(addr);
         assert!(again.is_ok(), "server thread should have released the socket");
+    }
+
+    #[test]
+    fn request_line_split_across_segments_parses_whole_path() {
+        let telemetry = Arc::new(Telemetry::new());
+        let server = TelemetryServer::serve(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Two-segment writer: the request line arrives in two TCP
+        // segments with a pause between them. TCP_NODELAY plus the flush
+        // and delay makes the server's first read() return only the
+        // prefix, which the old single-read parser turned into the path
+        // "/met" (a 404).
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        s.write_all(b"GET /met").unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        s.write_all(b"rics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "split request line must still route: {out}");
+        assert!(out.contains("application/openmetrics-text"), "{out}");
+
+        // Byte-at-a-time writer: the degenerate many-segment case.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        for b in b"GET /metrics.json HTTP/1.1\r\n\r\n" {
+            s.write_all(&[*b]).unwrap();
+        }
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("application/json"), "{out}");
     }
 }

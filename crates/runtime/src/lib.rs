@@ -55,7 +55,9 @@ pub use payload::{Chunk, Payload};
 pub use run::{run, DataflowMode, Executor, Machine, RunReport};
 pub use span::{Span, SpanAccounting, SpanKind, SpanLog};
 pub use stall::{StallReport, StalledProc};
-pub use telemetry::{ProcTotals, Telemetry, TelemetryConfig, TelemetrySnapshot};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, ProcTotals, Telemetry, TelemetryConfig, TelemetrySnapshot, TenantStats, TenantTotals,
+};
 pub use trace::{
     chrome_trace_full_json, chrome_trace_json, DataflowStats, Event, EventLog, HostStats, PlanStats,
 };

@@ -225,7 +225,15 @@ impl Mailbox {
     /// SPMD program (mismatched send/recv or collective) and panics with a
     /// per-`(src, tag)` queue-depth snapshot of every lane, so a stuck
     /// pipeline shows at a glance what *is* pending and from whom.
-    pub fn take(&self, src: usize, tag: u64, me: usize, timeout: Duration) -> Envelope {
+    ///
+    /// `idle` is the receiving processor's declared-idle flag (see
+    /// [`crate::ProcCtx::set_idle`]): while it reads true the timeout is
+    /// forgiven and the wait simply continues, because a serving loop
+    /// legitimately quiesces between request arrivals and that must not
+    /// be diagnosed as a deadlock. The flag is re-read on every timeout
+    /// expiry, so a processor that leaves idle state re-arms the watchdog
+    /// within one timeout period.
+    pub fn take(&self, src: usize, tag: u64, me: usize, timeout: Duration, idle: &AtomicBool) -> Envelope {
         let lane = &self.lanes[src];
         let cvar = lane.cvar.as_ref().expect("Mailbox::take on a pooled mailbox");
         let mut st = lane.state.lock();
@@ -239,6 +247,9 @@ impl Mailbox {
                 }
             }
             if cvar.wait_for(&mut st, timeout).timed_out() {
+                if idle.load(Ordering::Acquire) {
+                    continue; // declared idle: quiescence is legitimate, keep waiting
+                }
                 drop(st);
                 let pending = self.depth_snapshot();
                 panic!(
@@ -251,9 +262,10 @@ impl Mailbox {
     }
 
     /// Pooled-executor counterpart of [`Mailbox::take`]: same matching,
-    /// FIFO order, poison check and timeout diagnostic, but blocking
-    /// suspends the calling coroutine into `pool`'s scheduler instead of
-    /// parking an OS thread (see the module header for the protocol).
+    /// FIFO order, poison check, timeout diagnostic, and declared-idle
+    /// forgiveness, but blocking suspends the calling coroutine into
+    /// `pool`'s scheduler instead of parking an OS thread (see the module
+    /// header for the protocol).
     #[allow(clippy::too_many_arguments)]
     pub fn take_pooled(
         &self,
@@ -264,6 +276,7 @@ impl Mailbox {
         pool: &Pool,
         proc: usize,
         yielder: &Yielder,
+        idle: &AtomicBool,
     ) -> Envelope {
         let lane = &self.lanes[src];
         loop {
@@ -291,6 +304,7 @@ impl Mailbox {
             // re-checks the lane first — progress wins over a timeout that
             // raced a late delivery.
             if pool.take_timed_out(proc)
+                && !idle.load(Ordering::Acquire)
                 && !self.probe(src, tag)
                 && !self.poisoned.load(Ordering::Acquire)
             {
@@ -404,8 +418,10 @@ mod tests {
         }
     }
 
+    static NOT_IDLE: AtomicBool = AtomicBool::new(false);
+
     fn take_u32(mb: &Mailbox, src: usize, tag: u64) -> u32 {
-        let e = mb.take(src, tag, 0, Duration::from_secs(1));
+        let e = mb.take(src, tag, 0, Duration::from_secs(1), &NOT_IDLE);
         match e.payload {
             MsgBody::Boxed(b) => crate::payload::unerase(b, src, tag),
             MsgBody::Chunk(_) => panic!("expected boxed payload"),
@@ -437,7 +453,7 @@ mod tests {
     fn take_times_out_with_diagnostic() {
         let mb = Mailbox::new(4);
         mb.deposit(env(3, 9, 1));
-        mb.take(1, 7, 0, Duration::from_millis(20));
+        mb.take(1, 7, 0, Duration::from_millis(20), &NOT_IDLE);
     }
 
     #[test]
@@ -448,7 +464,7 @@ mod tests {
         mb.deposit(env(3, 9, 2));
         mb.deposit(env(2, 5, 7));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            mb.take(1, 7, 0, Duration::from_millis(20));
+            mb.take(1, 7, 0, Duration::from_millis(20), &NOT_IDLE);
         }))
         .expect_err("must time out");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
@@ -472,7 +488,7 @@ mod tests {
             snap[0].oldest_wait
         );
         // Draining the oldest message shrinks the reported age.
-        let _ = mb.take(3, 9, 0, Duration::from_millis(50));
+        let _ = mb.take(3, 9, 0, Duration::from_millis(50), &NOT_IDLE);
         let snap = mb.depth_snapshot();
         assert_eq!(snap[0].count, 1);
         assert!(snap[0].oldest_wait < Duration::from_millis(40));
@@ -487,7 +503,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
             mb2.poison();
         });
-        mb.take(0, 0, 1, Duration::from_secs(10));
+        mb.take(0, 0, 1, Duration::from_secs(10), &NOT_IDLE);
     }
 
     #[test]
@@ -497,7 +513,7 @@ mod tests {
         let h = std::thread::spawn(move || {
             mb2.deposit(env(5, 1, 42));
         });
-        let e = mb.take(5, 1, 0, Duration::from_secs(5));
+        let e = mb.take(5, 1, 0, Duration::from_secs(5), &NOT_IDLE);
         h.join().unwrap();
         let v: u32 = match e.payload {
             MsgBody::Boxed(b) => crate::payload::unerase(b, 5, 1),

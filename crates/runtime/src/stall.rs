@@ -119,6 +119,13 @@ fn sample_loop(telemetry: Arc<Telemetry>, world: Arc<World>, start: Instant, sto
             if src == NO_WAIT {
                 continue; // not blocked: compute-bound, not a messaging stall
             }
+            if world.idle[p].load(Ordering::Acquire) {
+                // Declared idle (a serving loop waiting for arrivals):
+                // quiescence is legitimate, not a stall. Re-date the
+                // window so leaving idle state starts a fresh count.
+                last_moved[p] = now;
+                continue;
+            }
             let stalled_for = now.duration_since(last_moved[p]);
             if stalled_for >= window {
                 let tag = shard.wait_tag.load(Ordering::Relaxed);

@@ -41,8 +41,13 @@ pub(crate) const NO_WAIT: usize = usize::MAX;
 const HIST_FINITE: usize = 38;
 
 /// A fixed-shape power-of-two histogram. All operations are relaxed
-/// atomics; recording is two single-writer load+store bumps.
-pub(crate) struct Histogram {
+/// atomics; recording is two single-writer load+store bumps (use
+/// [`Histogram::record_shared`] when several processors write the same
+/// histogram, as the per-tenant serving latency histograms do).
+///
+/// Bucket `0` covers `v <= 1`; bucket `i` (for `1 <= i < 38`) covers
+/// `2^(i-1) < v <= 2^i`; the last bucket is the `+Inf` overflow.
+pub struct Histogram {
     buckets: [AtomicU64; HIST_FINITE + 1],
     sum: AtomicU64,
 }
@@ -69,21 +74,101 @@ fn bump(a: &AtomicU64, v: u64) {
     a.store(a.load(Ordering::Relaxed).wrapping_add(v), Ordering::Relaxed);
 }
 
+/// Bucket index for a recorded value (shared by both record paths).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((u64::BITS - (v - 1).leading_zeros()) as usize).min(HIST_FINITE)
+    }
+}
+
+/// `(lower, upper]` value bounds of bucket `i`. The `+Inf` bucket is
+/// clamped to one more doubling (`2^38`) so interpolation stays finite.
+#[inline]
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        i if i < HIST_FINITE => (1u64 << (i - 1), 1u64 << i),
+        _ => (1u64 << (HIST_FINITE - 1), 1u64 << HIST_FINITE),
+    }
+}
+
+/// Quantile extraction over a merged bucket array: walk to the first
+/// bucket whose cumulative count reaches rank `ceil(q * count)` and
+/// interpolate linearly toward that bucket's *upper* bound.
+///
+/// A naive reader returning bucket lower bounds would systematically
+/// under-report tail quantiles (p99 of a distribution concentrated near
+/// a bucket's top edge reads as half its true value). Interpolating to
+/// the upper bound keeps the estimate inside the true value's bucket,
+/// so the error is at most one power-of-two bucket width: the result is
+/// within `[v/2, 2v]` of the true quantile `v` — a ≤2× bound, which is
+/// the resolution SLO reporting gets from 39 buckets.
+fn quantile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += c;
+        if cum >= target {
+            let (lo, hi) = bucket_bounds(i);
+            let frac = (target - before) as f64 / c as f64;
+            return (lo as f64 + frac * (hi - lo) as f64).round() as u64;
+        }
+    }
+    unreachable!("cumulative count reaches total")
+}
+
 impl Histogram {
     #[inline]
-    pub fn record(&self, v: u64) {
-        let idx = if v <= 1 {
-            0
-        } else {
-            ((u64::BITS - (v - 1).leading_zeros()) as usize).min(HIST_FINITE)
-        };
-        bump(&self.buckets[idx], 1);
+    pub(crate) fn record(&self, v: u64) {
+        bump(&self.buckets[bucket_index(v)], 1);
         bump(&self.sum, v);
     }
 
-    #[cfg(test)]
-    fn count(&self) -> u64 {
+    /// Multi-writer record: locked read-modify-write instead of the
+    /// single-writer load+store pair. Used off the per-message hot path,
+    /// e.g. when several module leaders complete requests for the same
+    /// tenant concurrently.
+    #[inline]
+    pub fn record_shared(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, by bucket
+    /// upper-bound interpolation — see [`quantile_from_buckets`] for the
+    /// ≤2× bucket-width error bound. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.snapshot().buckets, q)
+    }
+
+    /// A point-in-time plain copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
     }
 
     /// Merge into a plain bucket array + sum (for aggregated rendering).
@@ -92,6 +177,41 @@ impl Histogram {
             into.0[i] += b.load(Ordering::Relaxed);
         }
         into.1 += self.sum.load(Ordering::Relaxed);
+    }
+}
+
+/// Plain (non-atomic) copy of a [`Histogram`], as stored in snapshots
+/// and reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket counts; same shape as the live histogram (39 buckets, the
+    /// last being `+Inf`).
+    pub buckets: Vec<u64>,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile by bucket upper-bound interpolation (≤2× error —
+    /// see [`Histogram::quantile`]). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets, q)
+    }
+
+    /// Mean of recorded values (exact: the sum is tracked outside the
+    /// buckets). Returns 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
     }
 }
 
@@ -334,6 +454,68 @@ struct Inner {
     /// The live world, for on-demand queue-depth gauges. Dangling after
     /// the run finishes.
     world: Weak<World>,
+    /// Per-tenant serving accounting, registered by the serving layer via
+    /// [`Telemetry::begin_tenants`]. Deliberately *not* reset by
+    /// [`Telemetry::begin_run`]: the serving layer registers tenants
+    /// before launching the SPMD run that serves them.
+    tenants: Vec<Arc<TenantStats>>,
+}
+
+/// Per-tenant serving accounting: request-outcome counters and the
+/// completion latency histogram that SLO quantiles (p50/p99/p999) are
+/// read from. Counters use shared read-modify-write atomics because
+/// admission decisions and request completions are recorded by whichever
+/// processor performs them.
+pub struct TenantStats {
+    name: String,
+    /// Requests that arrived (admitted + shed).
+    pub arrived: AtomicU64,
+    /// Requests accepted into the admission queue.
+    pub admitted: AtomicU64,
+    /// Requests dropped by the shedding policy (queue full).
+    pub shed: AtomicU64,
+    /// Requests fully served.
+    pub completed: AtomicU64,
+    /// Completion latency (arrival to last-stage completion) in
+    /// nanoseconds of virtual time.
+    pub latency_ns: Histogram,
+}
+
+impl TenantStats {
+    fn new(name: &str) -> Self {
+        TenantStats {
+            name: name.to_string(),
+            arrived: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            latency_ns: Histogram::default(),
+        }
+    }
+
+    /// The tenant's registered name (the `tenant` label value in the
+    /// OpenMetrics exposition).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one request completion with its latency in nanoseconds.
+    pub fn on_complete(&self, latency_ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency_ns.record_shared(latency_ns);
+    }
+
+    /// Plain copy of this tenant's counters and latency histogram.
+    pub fn totals(&self) -> TenantTotals {
+        TenantTotals {
+            name: self.name.clone(),
+            arrived: self.arrived.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            latency_ns: self.latency_ns.snapshot(),
+        }
+    }
 }
 
 /// The live telemetry handle: metrics registry, flight recorders, and
@@ -399,6 +581,7 @@ impl Telemetry {
                 ids: HashMap::new(),
                 start: None,
                 world: Weak::new(),
+                tenants: Vec::new(),
             }),
             stall_reports: Mutex::new(Vec::new()),
         }
@@ -453,6 +636,21 @@ impl Telemetry {
             .get(id as usize)
             .cloned()
             .unwrap_or_else(|| Arc::from(format!("label#{id}").as_str()))
+    }
+
+    /// Register (or replace) the tenant set for a serving session and
+    /// return the live handles, in registration order. Counters start at
+    /// zero. Survives [`Telemetry::begin_run`] so the serving layer can
+    /// register tenants before launching the SPMD run that serves them.
+    pub fn begin_tenants(&self, names: &[&str]) -> Vec<Arc<TenantStats>> {
+        let tenants: Vec<Arc<TenantStats>> = names.iter().map(|n| Arc::new(TenantStats::new(n))).collect();
+        self.inner.lock().tenants = tenants.clone();
+        tenants
+    }
+
+    /// The currently registered tenant handles (empty outside serving).
+    pub fn tenants(&self) -> Vec<Arc<TenantStats>> {
+        self.inner.lock().tenants.clone()
     }
 
     pub(crate) fn push_stall_report(&self, report: StallReport) {
@@ -535,9 +733,9 @@ impl Telemetry {
     /// A consistent-enough point-in-time copy of every counter (relaxed
     /// reads; exact once the run has finished).
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let (shards, names) = {
+        let (shards, names, tenants) = {
             let inner = self.inner.lock();
-            (inner.shards.clone(), inner.names.clone())
+            (inner.shards.clone(), inner.names.clone(), inner.tenants.clone())
         };
         let per_proc: Vec<ProcTotals> = shards.iter().map(|s| ProcTotals::from_shard(s)).collect();
         let mut regions: Vec<(String, u64)> = Vec::new();
@@ -558,6 +756,7 @@ impl Telemetry {
             regions,
             chunk_bytes_in_flight: shards.iter().map(|s| s.chunk_flight.load(Ordering::Relaxed)).sum(),
             stall_report_count: self.stall_reports.lock().len(),
+            tenants: tenants.iter().map(|t| t.totals()).collect(),
         }
     }
 
@@ -657,6 +856,44 @@ impl Telemetry {
             &s.recv_wait_hist
         });
 
+        // Per-tenant serving families (present only while a tenant set is
+        // registered, i.e. during/after a serving session).
+        if !snap.tenants.is_empty() {
+            out.push_str("# TYPE fx_serve_requests counter\n");
+            out.push_str("# HELP fx_serve_requests Serving requests by tenant and outcome.\n");
+            for t in &snap.tenants {
+                let tenant = escape_label(&t.name);
+                for (outcome, n) in
+                    [("arrived", t.arrived), ("admitted", t.admitted), ("shed", t.shed), ("completed", t.completed)]
+                {
+                    out.push_str(&format!(
+                        "fx_serve_requests_total{{tenant=\"{tenant}\",outcome=\"{outcome}\"}} {n}\n"
+                    ));
+                }
+            }
+            out.push_str("# TYPE fx_serve_latency_ns histogram\n");
+            out.push_str("# HELP fx_serve_latency_ns Request completion latency in virtual nanoseconds.\n");
+            for t in &snap.tenants {
+                let tenant = escape_label(&t.name);
+                let mut cumulative = 0u64;
+                for (i, &c) in t.latency_ns.buckets.iter().enumerate() {
+                    cumulative += c;
+                    if i < HIST_FINITE {
+                        out.push_str(&format!(
+                            "fx_serve_latency_ns_bucket{{tenant=\"{tenant}\",le=\"{}\"}} {cumulative}\n",
+                            1u64 << i
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "fx_serve_latency_ns_bucket{{tenant=\"{tenant}\",le=\"+Inf\"}} {cumulative}\n"
+                        ));
+                    }
+                }
+                out.push_str(&format!("fx_serve_latency_ns_sum{{tenant=\"{tenant}\"}} {}\n", t.latency_ns.sum));
+                out.push_str(&format!("fx_serve_latency_ns_count{{tenant=\"{tenant}\"}} {cumulative}\n"));
+            }
+        }
+
         out.push_str("# EOF\n");
         out
     }
@@ -708,8 +945,26 @@ impl Telemetry {
             }
             out.push_str(&format!("\"{}\":{n}", escape_label(path)));
         }
+        out.push_str("},\"tenants\":[");
+        for (i, t) in snap.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"arrived\":{},\"admitted\":{},\"shed\":{},\"completed\":{},\
+                 \"latency_p50_ns\":{},\"latency_p99_ns\":{},\"latency_p999_ns\":{}}}",
+                escape_label(&t.name),
+                t.arrived,
+                t.admitted,
+                t.shed,
+                t.completed,
+                t.latency_ns.quantile(0.50),
+                t.latency_ns.quantile(0.99),
+                t.latency_ns.quantile(0.999)
+            ));
+        }
         out.push_str(&format!(
-            "}},\"chunk_bytes_in_flight\":{},\"stall_reports\":{}}}",
+            "],\"chunk_bytes_in_flight\":{},\"stall_reports\":{}}}",
             snap.chunk_bytes_in_flight, snap.stall_report_count
         ));
         out
@@ -898,6 +1153,27 @@ pub struct TelemetrySnapshot {
     pub chunk_bytes_in_flight: i64,
     /// Number of stall reports the detector emitted.
     pub stall_report_count: usize,
+    /// Per-tenant serving accounting (empty outside serving sessions).
+    pub tenants: Vec<TenantTotals>,
+}
+
+/// Final per-tenant serving counters, as stored in snapshots and in
+/// [`crate::RunReport::telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct TenantTotals {
+    /// The tenant's registered name.
+    pub name: String,
+    /// Requests that arrived (admitted + shed).
+    pub arrived: u64,
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests dropped by the shedding policy.
+    pub shed: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Completion latency histogram in virtual nanoseconds; read SLO
+    /// quantiles with [`HistogramSnapshot::quantile`].
+    pub latency_ns: HistogramSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -929,6 +1205,97 @@ mod tests {
         assert_eq!(acc.0[2], 2, "3 and 4 land in le=4");
         assert_eq!(acc.0[10], 1, "1000 lands in le=1024");
         assert_eq!(acc.0[HIST_FINITE], 1, "u64::MAX overflows to +Inf");
+    }
+
+    /// Exact quantile of a sorted sample: rank `ceil(q*n)` (1-based).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as f64;
+        let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn assert_within_2x(est: u64, exact: u64, what: &str) {
+        let lo = exact / 2;
+        let hi = exact.saturating_mul(2).max(1);
+        assert!(est >= lo && est <= hi, "{what}: estimate {est} outside [{lo}, {hi}] (exact {exact})");
+    }
+
+    #[test]
+    fn quantile_within_bucket_width_of_exact() {
+        // Known distributions with analytically exact quantiles: the
+        // log-bucket estimate must stay within one bucket width (≤2×).
+        for (name, values) in [
+            ("uniform 1..=10000", (1..=10_000u64).collect::<Vec<_>>()),
+            ("constant 1000", vec![1000u64; 500]),
+            ("bimodal 10 | 100000", (0..1000).map(|i| if i % 2 == 0 { 10 } else { 100_000 }).collect()),
+            ("geometric-ish", (0..14).flat_map(|k| std::iter::repeat(1u64 << k).take(1 << (13 - k))).collect()),
+        ] {
+            let h = Histogram::default();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                assert_within_2x(h.quantile(q), exact_quantile(&sorted, q), &format!("{name} q={q}"));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_handles_edges() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram yields 0");
+        for v in [1u64, 3, 9, 100, 5000] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must be monotone: {qs:?}");
+        assert!(h.quantile(1.0) >= 2500 && h.quantile(1.0) <= 10_000, "max within 2x of 5000");
+        // Values in the first bucket (<= 1) report at most 1.
+        let tiny = Histogram::default();
+        tiny.record(0);
+        tiny.record(1);
+        assert!(tiny.quantile(0.99) <= 1);
+        // Overflow values clamp to the +Inf bucket's interpolation range.
+        let huge = Histogram::default();
+        huge.record(u64::MAX);
+        assert!(huge.quantile(0.5) >= 1u64 << 37);
+    }
+
+    #[test]
+    fn record_shared_matches_record() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in [0u64, 1, 2, 700, 1 << 20] {
+            a.record(v);
+            b.record_shared(v);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn tenant_registry_renders_and_snapshots() {
+        let t = Telemetry::new();
+        let tenants = t.begin_tenants(&["interactive", "batch"]);
+        tenants[0].arrived.fetch_add(3, Ordering::Relaxed);
+        tenants[0].admitted.fetch_add(2, Ordering::Relaxed);
+        tenants[0].shed.fetch_add(1, Ordering::Relaxed);
+        tenants[0].on_complete(1_000_000);
+        tenants[0].on_complete(2_000_000);
+        let om = t.render_openmetrics();
+        assert!(om.contains("fx_serve_requests_total{tenant=\"interactive\",outcome=\"shed\"} 1"));
+        assert!(om.contains("fx_serve_latency_ns_count{tenant=\"interactive\"} 2"));
+        assert!(om.contains("fx_serve_latency_ns_bucket{tenant=\"batch\",le=\"+Inf\"} 0"));
+        assert!(om.ends_with("# EOF\n"));
+        let snap = t.snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants[0].completed, 2);
+        let p50 = snap.tenants[0].latency_ns.quantile(0.5);
+        assert!(p50 >= 500_000 && p50 <= 4_000_000, "p50 {p50} within 2x of exact 1ms..2ms");
+        // Re-registration resets.
+        let again = t.begin_tenants(&["interactive"]);
+        assert_eq!(again[0].totals().arrived, 0);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+#![warn(missing_docs)]
+
+//! # fx-serve — Fx as a service
+//!
+//! The paper's programs are batch jobs: compile a task/data-parallel
+//! mapping, push a fixed stream of data sets through it, report
+//! throughput and latency (Table 1). This crate wraps the same compiled
+//! pipelines in a **long-lived cluster object**: requests arrive on an
+//! open-loop (Poisson or trace-driven) schedule, are admitted into a
+//! bounded queue or shed under overload, batched through the pipeline,
+//! and answered with per-tenant latency SLO accounting (p50/p99/p999)
+//! read from the runtime's telemetry histograms.
+//!
+//! The load-bearing invariant: **serving changes scheduling, never
+//! answers.** Every request's output is bit-identical to the same
+//! computation run one-shot, whatever the offered load, batch size,
+//! queue depth, shed policy, executor, or mapping. Batching and
+//! queueing reorder *when* work happens, not *what* it computes.
+//!
+//! ## Determinism under simulated time
+//!
+//! Under [`TimeMode::Simulated`](fx_core::TimeMode) the admission loop
+//! is a *replicated* decision procedure: every processor runs the same
+//! rounds, agreeing on the round time via `allreduce(now, max)` and
+//! jumping idle gaps with `advance_to(next_arrival)`. Admission,
+//! shedding and batch formation are pure functions of the agreed round
+//! time, so every processor makes identical decisions without any
+//! coordinator messages — and the whole serve run is bit-identical
+//! across executors and hosts, like every other Fx program.
+//!
+//! Under [`TimeMode::Real`](fx_core::TimeMode), processor 0 acts as the
+//! frontend: it watches the wall clock for arrivals and broadcasts
+//! batch directives (`Some(batch)`) or shutdown (`None`) to the rest of
+//! the machine. Non-frontend processors declare themselves idle
+//! (`Cx::set_idle`) while waiting for a directive so the stuck-run
+//! watchdog does not mistake a quiet serving loop for a deadlock.
+//!
+//! ## Knobs
+//!
+//! [`ServeConfig::from_env`] reads `FX_SERVE_QUEUE` (admission queue
+//! capacity), `FX_SERVE_BATCH` (max requests per pipeline batch) and
+//! `FX_SERVE_SHED` (`newest` | `oldest`).
+
+mod report;
+mod servable;
+mod server;
+mod trace;
+
+pub use report::{ServeReport, TenantReport};
+pub use servable::{AirshedServable, FftHistServable, Servable};
+pub use server::{ProcServe, Server};
+pub use trace::{poisson_trace, ServeRequest, TenantSpec};
+
+/// What to drop when a request arrives and the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Shed the arriving request (tail drop). Preserves FIFO latency of
+    /// already-admitted work; overload shows up as shed count, not as
+    /// inflated tail latency.
+    DropNewest,
+    /// Shed the oldest queued request to make room for the arrival.
+    /// Bounds staleness at the cost of wasted queueing of the victim.
+    DropOldest,
+}
+
+/// Admission-control knobs for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded admission queue capacity (requests). Arrivals beyond
+    /// this are shed per [`ShedPolicy`].
+    pub queue_cap: usize,
+    /// Maximum requests drained into one pipeline batch.
+    pub batch_max: usize,
+    /// What to drop when the queue is full.
+    pub shed: ShedPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { queue_cap: 16, batch_max: 4, shed: ShedPolicy::DropNewest }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `FX_SERVE_QUEUE`, `FX_SERVE_BATCH` and
+    /// `FX_SERVE_SHED` (`newest` | `oldest`). Unparsable values fall
+    /// back to the defaults; capacities are clamped to at least 1.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Ok(v) = std::env::var("FX_SERVE_QUEUE") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                cfg.queue_cap = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("FX_SERVE_BATCH") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                cfg.batch_max = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("FX_SERVE_SHED") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "oldest" | "drop-oldest" | "dropoldest" => cfg.shed = ShedPolicy::DropOldest,
+                "newest" | "drop-newest" | "dropnewest" => cfg.shed = ShedPolicy::DropNewest,
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_cap >= 1 && c.batch_max >= 1);
+        assert_eq!(c.shed, ShedPolicy::DropNewest);
+    }
+}

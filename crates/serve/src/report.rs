@@ -1,0 +1,156 @@
+//! Assembling a serve run's scattered observations into one report.
+
+use fx_apps::util::ReqCompletion;
+use fx_core::RunReport;
+use fx_runtime::{Telemetry, TelemetrySnapshot};
+
+use crate::server::ProcServe;
+use crate::ServeRequest;
+
+/// One tenant's service-level accounting for a serve run.
+///
+/// Latency quantiles come from the runtime's log-bucketed telemetry
+/// histograms, so they carry that histogram's documented bound: the
+/// estimate is within a factor of two of the exact order statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests that arrived (admitted + shed under tail drop).
+    pub arrived: u64,
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests dropped by the shedding policy.
+    pub shed: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Median completion latency, virtual nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile completion latency, virtual nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile completion latency, virtual nanoseconds.
+    pub p999_ns: u64,
+    /// Mean completion latency, virtual nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl TenantReport {
+    /// Counter conservation: every arrived request was either served
+    /// or shed, nothing lost, nothing double-counted.
+    pub fn conserved(&self) -> bool {
+        self.arrived == self.completed + self.shed
+    }
+}
+
+/// Everything a serve run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport<T> {
+    /// All completions, merged across processors and sorted by request
+    /// index. Each served request appears exactly once.
+    pub completions: Vec<ReqCompletion<T>>,
+    /// Trace indices of shed requests, in shed order.
+    pub shed: Vec<usize>,
+    /// Per-tenant SLO accounting.
+    pub tenants: Vec<TenantReport>,
+    /// Per-processor finish times (virtual seconds when simulating).
+    pub times: Vec<f64>,
+    /// Serve-loop rounds (max over processors).
+    pub rounds: u64,
+    /// Full telemetry snapshot of the run, for the OpenMetrics/JSON
+    /// exporters — includes the per-tenant request counters and
+    /// latency histograms rendered as `fx_serve_*` families.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+impl<T> ServeReport<T> {
+    /// Number of requests served.
+    pub fn completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Latest processor finish time (virtual seconds when simulating).
+    pub fn makespan(&self) -> f64 {
+        self.times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Served requests per second of makespan.
+    pub fn throughput(&self) -> f64 {
+        let m = self.makespan();
+        if m > 0.0 {
+            self.completed() as f64 / m
+        } else {
+            0.0
+        }
+    }
+
+    /// Look up a tenant's report by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Counter conservation across all tenants (see
+    /// [`TenantReport::conserved`]); also checks the merged completion
+    /// and shed lists against the counter totals.
+    pub fn conserved(&self) -> bool {
+        let completed: u64 = self.tenants.iter().map(|t| t.completed).sum();
+        let shed: u64 = self.tenants.iter().map(|t| t.shed).sum();
+        self.tenants.iter().all(TenantReport::conserved)
+            && completed == self.completions.len() as u64
+            && shed == self.shed.len() as u64
+    }
+}
+
+/// Merge per-processor serve results and the live tenant counters into
+/// one [`ServeReport`]. Panics if any request was reported complete by
+/// more than one processor — the canonical-reporter contract.
+pub(crate) fn assemble<T>(
+    rep: RunReport<ProcServe<T>>,
+    trace: &[ServeRequest],
+    tenant_names: &[&str],
+    telemetry: &Telemetry,
+) -> ServeReport<T> {
+    let rounds = rep.results.iter().map(|p| p.rounds).max().unwrap_or(0);
+    let mut completions: Vec<ReqCompletion<T>> = Vec::new();
+    let mut shed: Vec<usize> = Vec::new();
+    for proc in rep.results {
+        completions.extend(proc.completions);
+        shed.extend(proc.sheds);
+    }
+    completions.sort_by_key(|c| c.req);
+    for w in completions.windows(2) {
+        assert_ne!(
+            w[0].req, w[1].req,
+            "request {} reported complete by more than one processor",
+            w[0].req
+        );
+    }
+    for c in &completions {
+        assert!(c.req < trace.len(), "completion for unknown request {}", c.req);
+    }
+
+    let by_name = telemetry.tenants();
+    let tenants = tenant_names
+        .iter()
+        .map(|name| {
+            let t = by_name
+                .iter()
+                .find(|t| t.name() == *name)
+                .expect("serve registered every tenant name");
+            let totals = t.totals();
+            let h = &totals.latency_ns;
+            TenantReport {
+                name: totals.name.clone(),
+                arrived: totals.arrived,
+                admitted: totals.admitted,
+                shed: totals.shed,
+                completed: totals.completed,
+                p50_ns: h.quantile(0.50),
+                p99_ns: h.quantile(0.99),
+                p999_ns: h.quantile(0.999),
+                mean_ns: h.mean(),
+            }
+        })
+        .collect();
+
+    ServeReport { completions, shed, tenants, times: rep.times, rounds, telemetry: rep.telemetry }
+}

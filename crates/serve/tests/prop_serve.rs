@@ -1,0 +1,78 @@
+//! Property: serving changes scheduling, never answers.
+//!
+//! Random open-loop traces pushed through random admission configs and
+//! mappings must answer every served request bit-identically to the
+//! sequential oracle, conserve request counters, and produce
+//! bit-identical virtual times on both executors.
+
+use fx_apps::ffthist::{reference_histogram, FftHistConfig, FftHistMapping};
+use fx_core::{Machine, MachineModel};
+use fx_runtime::Executor;
+use fx_serve::{poisson_trace, FftHistServable, ServeConfig, Server, ShedPolicy, TenantSpec};
+use proptest::prelude::*;
+
+fn mapping_strategy() -> impl Strategy<Value = FftHistMapping> {
+    prop_oneof![
+        Just(FftHistMapping::DataParallel),
+        Just(FftHistMapping::Pipeline([1, 2, 1])),
+        Just(FftHistMapping::Replicated { replicas: 2, pipeline: None }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn served_answers_are_oracle_exact_and_executor_invariant(
+        seed in 0u64..1_000_000,
+        rate in 20.0f64..3000.0,
+        nreq in 2usize..9,
+        ntenants in 1usize..3,
+        batch_max in 1usize..4,
+        queue_cap in 1usize..8,
+        drop_oldest in any::<bool>(),
+        mapping in mapping_strategy(),
+    ) {
+        let cfg = FftHistConfig::new(8, 1);
+        let tenants: Vec<TenantSpec> = (0..ntenants)
+            .map(|t| TenantSpec::new(&format!("t{t}"), rate / ntenants as f64, nreq))
+            .collect();
+        let names: Vec<&str> = tenants.iter().map(|t| t.name.as_str()).collect();
+        let trace = poisson_trace(&tenants, seed);
+        let shed = if drop_oldest { ShedPolicy::DropOldest } else { ShedPolicy::DropNewest };
+        let serve_cfg = ServeConfig { queue_cap, batch_max, shed };
+
+        let run = |exec: Executor| {
+            Server::new(
+                Machine::simulated(4, MachineModel::paragon()).with_executor(exec),
+                FftHistServable { cfg, mapping },
+            )
+            .with_config(serve_cfg)
+            .serve(&trace, &names)
+        };
+        let a = run(Executor::Threaded);
+        let b = run(Executor::Pooled { workers: 2 });
+
+        // Counter conservation and no lost requests, under any load.
+        prop_assert!(a.conserved());
+        prop_assert_eq!(a.completed() + a.shed.len(), trace.len());
+
+        // Every served answer matches the sequential oracle bit-for-bit.
+        for c in &a.completions {
+            prop_assert_eq!(&c.output, &reference_histogram(&cfg, trace[c.req].dataset));
+            prop_assert!(c.done >= trace[c.req].arrival);
+        }
+
+        // Executor invariance: identical decisions, identical virtual
+        // times, identical SLO accounting.
+        prop_assert_eq!(&a.times, &b.times);
+        prop_assert_eq!(&a.shed, &b.shed);
+        prop_assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            prop_assert_eq!(x.req, y.req);
+            prop_assert_eq!(&x.output, &y.output);
+            prop_assert_eq!(x.done.to_bits(), y.done.to_bits());
+        }
+        prop_assert_eq!(&a.tenants, &b.tenants);
+    }
+}

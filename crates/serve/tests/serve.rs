@@ -1,0 +1,208 @@
+//! End-to-end serving tests: bit-identity to one-shot runs, overload
+//! shedding, counter conservation, executor invariance, and real-time
+//! serving across trace gaps longer than the receive timeout.
+
+use std::time::Duration;
+
+use fx_apps::airshed::AirshedConfig;
+use fx_apps::ffthist::{reference_histogram, FftHistConfig, FftHistMapping};
+use fx_core::{spmd, Machine, MachineModel};
+use fx_runtime::Executor;
+use fx_serve::{
+    poisson_trace, AirshedServable, FftHistServable, ServeConfig, Server, ShedPolicy, TenantSpec,
+};
+
+fn paragon(p: usize) -> Machine {
+    Machine::simulated(p, MachineModel::paragon())
+}
+
+#[test]
+fn served_outputs_are_bit_identical_to_reference_for_every_mapping() {
+    let cfg = FftHistConfig::new(16, 1);
+    let tenants = [TenantSpec::new("gold", 50.0, 6), TenantSpec::new("bronze", 20.0, 3)];
+    let trace = poisson_trace(&tenants, 11);
+    for mapping in [
+        FftHistMapping::DataParallel,
+        FftHistMapping::Pipeline([1, 4, 1]),
+        FftHistMapping::Replicated { replicas: 2, pipeline: None },
+    ] {
+        let server = Server::new(paragon(6), FftHistServable { cfg, mapping })
+            .with_config(ServeConfig { queue_cap: 32, batch_max: 3, shed: ShedPolicy::DropNewest });
+        let rep = server.serve(&trace, &["gold", "bronze"]);
+        assert!(rep.conserved(), "counter conservation under {mapping:?}");
+        assert_eq!(rep.completed(), trace.len(), "ample queue sheds nothing");
+        for c in &rep.completions {
+            assert_eq!(
+                c.output,
+                reference_histogram(&cfg, trace[c.req].dataset),
+                "request {} output must be bit-identical to the one-shot reference",
+                c.req
+            );
+            assert!(c.done >= trace[c.req].arrival, "completion after arrival");
+        }
+        let gold = rep.tenant("gold").unwrap();
+        assert_eq!(gold.arrived, 6);
+        assert!(gold.p50_ns > 0 && gold.p99_ns >= gold.p50_ns && gold.p999_ns >= gold.p99_ns);
+    }
+}
+
+#[test]
+fn serving_is_bit_identical_across_executors() {
+    let cfg = FftHistConfig::new(16, 1);
+    let trace = poisson_trace(&[TenantSpec::new("t", 80.0, 8)], 5);
+    let serve_with = |exec: Executor| {
+        let server = Server::new(
+            paragon(6).with_executor(exec),
+            FftHistServable { cfg, mapping: FftHistMapping::Pipeline([1, 4, 1]) },
+        )
+        .with_config(ServeConfig { queue_cap: 8, batch_max: 2, shed: ShedPolicy::DropNewest });
+        server.serve(&trace, &["t"])
+    };
+    let a = serve_with(Executor::Threaded);
+    let b = serve_with(Executor::Pooled { workers: 3 });
+    assert_eq!(a.times, b.times, "virtual finish times must not depend on the executor");
+    assert_eq!(a.completions.len(), b.completions.len());
+    for (x, y) in a.completions.iter().zip(&b.completions) {
+        assert_eq!(x.req, y.req);
+        assert_eq!(x.output, y.output);
+        assert_eq!(x.done.to_bits(), y.done.to_bits(), "completion vtimes bit-identical");
+    }
+    assert_eq!(a.tenants, b.tenants, "SLO accounting must match across executors");
+}
+
+#[test]
+fn overload_sheds_and_conserves() {
+    let cfg = FftHistConfig::new(16, 1);
+    // 2000 req/s offered against a pipeline that takes milliseconds per
+    // request: the queue must overflow.
+    let trace = poisson_trace(&[TenantSpec::new("burst", 2000.0, 40)], 9);
+    let server =
+        Server::new(paragon(4), FftHistServable { cfg, mapping: FftHistMapping::DataParallel })
+            .with_config(ServeConfig { queue_cap: 4, batch_max: 2, shed: ShedPolicy::DropNewest });
+    let rep = server.serve(&trace, &["burst"]);
+    let t = rep.tenant("burst").unwrap();
+    assert_eq!(t.arrived, 40);
+    assert!(t.shed > 0, "overload must shed (shed={})", t.shed);
+    assert!(rep.conserved(), "arrived == completed + shed");
+    assert_eq!(rep.completed() + rep.shed.len(), trace.len());
+    // Every served answer is still exact under overload.
+    for c in &rep.completions {
+        assert_eq!(c.output, reference_histogram(&cfg, trace[c.req].dataset));
+    }
+    // Tail drop: shed requests arrived while the queue was full, so the
+    // first queue_cap + batch_max arrivals are never shed.
+    let earliest_shed = rep.shed.iter().copied().min().unwrap();
+    assert!(earliest_shed >= 4, "tail drop sheds late arrivals, not early ones");
+}
+
+#[test]
+fn drop_oldest_sheds_earlier_requests_than_drop_newest() {
+    let cfg = FftHistConfig::new(16, 1);
+    let trace = poisson_trace(&[TenantSpec::new("burst", 2000.0, 40)], 9);
+    let run = |shed| {
+        Server::new(paragon(4), FftHistServable { cfg, mapping: FftHistMapping::DataParallel })
+            .with_config(ServeConfig { queue_cap: 4, batch_max: 2, shed })
+            .serve(&trace, &["burst"])
+    };
+    let newest = run(ShedPolicy::DropNewest);
+    let oldest = run(ShedPolicy::DropOldest);
+    assert!(newest.conserved() && oldest.conserved());
+    assert!(!newest.shed.is_empty() && !oldest.shed.is_empty());
+    let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+    assert!(
+        mean(&oldest.shed) < mean(&newest.shed),
+        "drop-oldest victims should be older on average: {:?} vs {:?}",
+        oldest.shed,
+        newest.shed
+    );
+    // Shed choice redistributes which requests get served, never what
+    // any served request answers.
+    for rep in [&newest, &oldest] {
+        for c in &rep.completions {
+            assert_eq!(c.output, reference_histogram(&cfg, trace[c.req].dataset));
+        }
+    }
+}
+
+#[test]
+fn airshed_service_answers_match_oneshot() {
+    let cfg = AirshedConfig {
+        gridpoints: 24,
+        layers: 2,
+        species: 3,
+        hours: 2,
+        nsteps: 2,
+        input_seconds: 0.05,
+        output_seconds: 0.05,
+        chem_flops_per_cell: 400.0,
+        trans_flops_per_cell: 60.0,
+    };
+    let oneshot = spmd(&paragon(4), |cx| fx_apps::airshed::airshed_dp(cx, &cfg)).results[0];
+    let trace = poisson_trace(&[TenantSpec::new("ops", 5.0, 3)], 21);
+    let server = Server::new(paragon(4), AirshedServable { cfg, task_parallel: false })
+        .with_config(ServeConfig::default());
+    let rep = server.serve(&trace, &["ops"]);
+    assert_eq!(rep.completed(), 3);
+    for c in &rep.completions {
+        assert_eq!(
+            c.output.to_bits(),
+            oneshot.to_bits(),
+            "served checksum must be bit-identical to the one-shot run"
+        );
+    }
+    assert!(rep.conserved());
+}
+
+#[test]
+fn real_time_serving_survives_trace_gaps_longer_than_recv_timeout() {
+    // A quiet serving loop is not a deadlock: the trace has a 400ms gap,
+    // four times the receive timeout. Idle declaration keeps the
+    // watchdog silent; the run completes and answers stay exact.
+    let cfg = FftHistConfig::new(8, 1);
+    let trace = {
+        let mut t = poisson_trace(&[TenantSpec::new("live", 1000.0, 4)], 3);
+        for r in t.iter_mut().skip(2) {
+            r.arrival += 0.4; // open a gap after the first two requests
+        }
+        t
+    };
+    let machine = Machine::real(2).with_timeout(Duration::from_millis(100));
+    let server =
+        Server::new(machine, FftHistServable { cfg, mapping: FftHistMapping::DataParallel })
+            .with_config(ServeConfig { queue_cap: 8, batch_max: 2, shed: ShedPolicy::DropNewest });
+    let rep = server.serve(&trace, &["live"]);
+    assert_eq!(rep.completed(), 4, "every request served across the gap");
+    assert!(rep.conserved());
+    for c in &rep.completions {
+        assert_eq!(c.output, reference_histogram(&cfg, trace[c.req].dataset));
+        assert!(c.done >= trace[c.req].arrival - 1e-3, "wall-clock completion after arrival");
+    }
+    let t = rep.tenant("live").unwrap();
+    assert!(t.p50_ns > 0, "real-mode latencies recorded");
+}
+
+#[test]
+fn exporters_render_per_tenant_serve_metrics() {
+    let cfg = FftHistConfig::new(16, 1);
+    let trace =
+        poisson_trace(&[TenantSpec::new("gold", 60.0, 4), TenantSpec::new("free", 20.0, 2)], 13);
+    let tele = std::sync::Arc::new(fx_runtime::Telemetry::new());
+    let server = Server::new(
+        paragon(4).with_telemetry(tele.clone()),
+        FftHistServable { cfg, mapping: FftHistMapping::DataParallel },
+    );
+    let rep = server.serve(&trace, &["gold", "free"]);
+    assert!(rep.telemetry.is_some(), "serve always snapshots telemetry");
+    let om = tele.render_openmetrics();
+    for needle in [
+        "fx_serve_requests_total{tenant=\"gold\",outcome=\"arrived\"} 4",
+        "fx_serve_requests_total{tenant=\"free\",outcome=\"completed\"} 2",
+        "fx_serve_latency_ns",
+        "# EOF",
+    ] {
+        assert!(om.contains(needle), "OpenMetrics output missing {needle:?}:\n{om}");
+    }
+    let json = tele.render_json();
+    assert!(json.contains("\"tenants\":["), "JSON exporter lists tenants: {json}");
+    assert!(json.contains("\"latency_p99_ns\""), "JSON exporter carries SLO quantiles");
+}

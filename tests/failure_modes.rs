@@ -341,3 +341,138 @@ fn stall_detector_diagnoses_deadlocked_exchange_pooled() {
     );
     assert!(all.contains("[cycle]"), "mutual wait must be flagged as a cycle, got:\n{all}");
 }
+
+// --- Declared-idle gating of the watchdog (serving loops). ---
+//
+// A serving loop legitimately quiesces between request arrivals: its
+// processors block in receives with nothing in flight, which is the
+// exact signature the deadlock watchdog (`FX_RECV_TIMEOUT_MS` /
+// `Machine::with_timeout`) and the stall sampler were built to kill.
+// `ProcCtx::set_idle` declares that state; these tests pin down both
+// halves of the contract — declared idleness survives quiescence far
+// longer than the timeout, while a genuine deadlock *inside* request
+// processing (idle cleared) still dies with the full diagnostic.
+
+/// An idle server outlives several recv-timeout windows of quiescence,
+/// then serves the late request normally; the stall sampler stays quiet.
+#[test]
+fn idle_server_survives_recv_timeout_quiescence() {
+    use fx::runtime::{Telemetry, TelemetryConfig};
+    use std::sync::Arc;
+
+    let telemetry = Arc::new(Telemetry::with_config(TelemetryConfig {
+        stall_window: Duration::from_millis(100),
+        stall_sample_every: Duration::from_millis(20),
+        ..TelemetryConfig::default()
+    }));
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_millis(100))
+        .with_telemetry(Arc::clone(&telemetry));
+    let rep = fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+        if cx.rank() == 0 {
+            // The "arrival generator": quiescent for several timeout
+            // windows before the request shows up.
+            std::thread::sleep(Duration::from_millis(450));
+            cx.send(1, 1, 7u64);
+            0
+        } else {
+            // The "server": declared idle while waiting for work.
+            cx.set_idle(true);
+            let req: u64 = cx.recv(0, 1);
+            cx.set_idle(false);
+            req
+        }
+    });
+    assert_eq!(rep.results[1], 7, "the late request must still be served");
+    assert!(
+        telemetry.stall_reports().is_empty(),
+        "declared idleness must not be reported as a stall: {:?}",
+        telemetry.stall_reports()
+    );
+}
+
+/// A deadlock while *processing* a request (idle cleared) still trips
+/// the watchdog and the stall sampler, even though the same processor
+/// idled legitimately moments before.
+#[test]
+fn deadlocked_request_still_triggers_dump_after_idle_phase() {
+    use fx::runtime::{Telemetry, TelemetryConfig};
+    use std::sync::Arc;
+
+    let telemetry = Arc::new(Telemetry::with_config(TelemetryConfig {
+        stall_window: Duration::from_millis(100),
+        stall_sample_every: Duration::from_millis(20),
+        ..TelemetryConfig::default()
+    }));
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_millis(300))
+        .with_telemetry(Arc::clone(&telemetry));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(50));
+                cx.send(1, 1, 7u64);
+            } else {
+                cx.set_idle(true);
+                let _req: u64 = cx.recv(0, 1); // served fine
+                cx.set_idle(false);
+                // "Processing" deadlocks: waits on a reply that never
+                // comes, with idleness no longer declared.
+                let _: u64 = cx.recv(0, 2);
+            }
+        })
+    }))
+    .expect_err("a deadlock outside the idle phase must still be killed");
+    let msg = panic_message(err);
+    assert!(msg.contains("timed out") || msg.contains("another processor panicked"), "got: {msg}");
+    let reports = telemetry.stall_reports();
+    assert!(!reports.is_empty(), "the stall sampler must still diagnose a real deadlock");
+    let all: String = reports.iter().map(|r| r.to_string()).collect();
+    assert!(all.contains("recv(src=0, tag=0x2)"), "report must name the stuck wait edge, got:\n{all}");
+}
+
+/// The same idle contract under the pooled executor, where the timeout
+/// is a watchdog-thread latch rather than a condvar deadline: declared
+/// idleness swallows the latch, clearing it re-arms the kill.
+#[test]
+fn idle_gating_holds_under_pooled_executor() {
+    use fx::runtime::Executor;
+
+    // Survives quiescence...
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_millis(100))
+        .with_executor(Executor::Pooled { workers: 2 });
+    let rep = fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+        if cx.rank() == 0 {
+            std::thread::sleep(Duration::from_millis(450));
+            cx.send(1, 1, 7u64);
+            0
+        } else {
+            cx.set_idle(true);
+            let req: u64 = cx.recv(0, 1);
+            cx.set_idle(false);
+            req
+        }
+    });
+    assert_eq!(rep.results[1], 7);
+
+    // ...while a genuine deadlock after the idle phase still dies.
+    let machine = Machine::real(2)
+        .with_timeout(Duration::from_millis(300))
+        .with_executor(Executor::Pooled { workers: 2 });
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fx::runtime::run(&machine, |cx: &mut ProcCtx| {
+            if cx.rank() == 0 {
+                cx.send(1, 1, 7u64);
+            } else {
+                cx.set_idle(true);
+                let _req: u64 = cx.recv(0, 1);
+                cx.set_idle(false);
+                let _: u64 = cx.recv(0, 2); // never sent
+            }
+        })
+    }))
+    .expect_err("deadlock must panic under the pooled executor too");
+    let msg = panic_message(err);
+    assert!(msg.contains("timed out") || msg.contains("another processor panicked"), "got: {msg}");
+}

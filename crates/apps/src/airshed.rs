@@ -291,6 +291,7 @@ pub fn airshed_requests(
 ) -> Vec<crate::util::ReqCompletion<f64>> {
     let mut out = Vec::new();
     for &req in reqs {
+        cx.set_trace(fx_core::request_trace_id(req));
         let cs = if task_parallel {
             let v = airshed_tp(cx, cfg);
             cx.bcast(1, v)

@@ -361,6 +361,10 @@ pub fn fft_hist_dp_requests(
     let mut a1 = DArray2::new(cx, &g, [n, n], (Dist::Star, Dist::Block), Complex::ZERO);
     let mut a2 = DArray2::new(cx, &g, [n, n], (Dist::Block, Dist::Star), Complex::ZERO);
     for &(req, d) in reqs {
+        // Every member tags its work with the request's causal trace id
+        // (deterministic from `req`, so no coordination) — a no-op
+        // unless the machine runs with tracing on.
+        cx.set_trace(fx_core::request_trace_id(req));
         if cx.id() == 0 {
             cx.record(SET_START);
         }
@@ -416,6 +420,10 @@ pub fn fft_hist_segmented_requests(
 
     cx.task_region(&part, |cx, tr| {
         for &(req, d) in reqs {
+            // All segments walk the request stream in order, so each
+            // processor tags its local work (and outgoing transfers)
+            // with the current request's trace id.
+            cx.set_trace(fx_core::request_trace_id(req));
             tr.on(cx, &names[seg_of_stage[0]], |cx| {
                 if cx.id() == 0 {
                     cx.record(SET_START);

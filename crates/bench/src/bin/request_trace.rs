@@ -1,0 +1,288 @@
+//! Per-request latency attribution at the serve-capacity knee: where
+//! does the dp-vs-replicated p99 gap actually go?
+//!
+//! `serve_capacity` showed the ordering (the best task+data mapping
+//! saturates higher; pure data parallelism answers a light load
+//! faster) but only as opaque end-to-end quantiles. This bin reruns
+//! the comparison with causal tracing on, so every served request
+//! carries an exact latency decomposition — queue wait, barrier, send,
+//! recv, compute, batch-mate ("other"), idle — and the p99 gap between
+//! mappings is *attributed* component by component.
+//!
+//! The attribution is exact by construction: each request's components
+//! sum to its end-to-end latency, so the componentwise difference
+//! between the two mappings' p99-rank requests sums to the p99 gap.
+//! The bin asserts that at least 90% of the gap lands on the named
+//! components (it is 100% up to float rounding) and records both the
+//! p99-rank attribution and the tail-mean (slowest ~1%) view in
+//! `BENCH_reqtrace.json`. A sample per-request Chrome trace (the
+//! slowest request of the stressed mapping) goes to
+//! `results/request_trace_sample.json`.
+//!
+//! Run with:
+//! `cargo run --release -p fx-bench --bin request_trace [-- --smoke]`
+
+use fx_apps::ffthist::{FftHistConfig, FftHistMapping};
+use fx_bench::paragon;
+use fx_serve::{
+    poisson_trace, FftHistServable, RequestTrace, ServeConfig, ServeReport, Server, ShedPolicy,
+    TenantSpec,
+};
+
+const COMPONENTS: [&str; 7] = ["queue", "barrier", "send", "recv", "compute", "other", "idle"];
+
+struct Shape {
+    p: usize,
+    n: usize,
+    requests: usize,
+    rival: (&'static str, FftHistMapping),
+}
+
+fn shape(smoke: bool) -> Shape {
+    if smoke {
+        Shape {
+            p: 6,
+            n: 16,
+            requests: 24,
+            rival: ("repl-2x", FftHistMapping::Replicated { replicas: 2, pipeline: None }),
+        }
+    } else {
+        Shape {
+            p: 16,
+            n: 64,
+            requests: 120,
+            rival: ("repl-4x", FftHistMapping::Replicated { replicas: 4, pipeline: None }),
+        }
+    }
+}
+
+/// Serve `requests` Poisson arrivals at `rate` through `mapping`,
+/// tracing on, and return the report (same two-tenant 3:1 split and
+/// seed as `serve_capacity`, so the runs are directly comparable).
+fn serve_traced(
+    sh: &Shape,
+    mapping: FftHistMapping,
+    rate: f64,
+    requests: usize,
+    queue_cap: usize,
+) -> ServeReport<Vec<u64>> {
+    let tenants = vec![
+        TenantSpec::new("gold", rate * 0.75, (requests * 3) / 4),
+        TenantSpec::new("bronze", rate * 0.25, requests / 4),
+    ];
+    let trace = poisson_trace(&tenants, 42);
+    let fcfg = FftHistConfig::new(sh.n, 1);
+    Server::new(paragon(sh.p).with_tracing(true), FftHistServable { cfg: fcfg, mapping })
+        .with_config(ServeConfig { queue_cap, batch_max: 4, shed: ShedPolicy::DropNewest })
+        .serve(&trace, &["gold", "bronze"])
+}
+
+/// Saturation probe (untraced): achieved rate with arrivals far beyond
+/// capacity and a queue sized to shed nothing.
+fn saturation(sh: &Shape, mapping: FftHistMapping) -> f64 {
+    let req = sh.requests.min(60);
+    let tenants = vec![
+        TenantSpec::new("gold", 1e6 * 0.75, (req * 3) / 4),
+        TenantSpec::new("bronze", 1e6 * 0.25, req / 4),
+    ];
+    let trace = poisson_trace(&tenants, 42);
+    let fcfg = FftHistConfig::new(sh.n, 1);
+    let rep = Server::new(paragon(sh.p), FftHistServable { cfg: fcfg, mapping })
+        .with_config(ServeConfig { queue_cap: req + 1, batch_max: 4, shed: ShedPolicy::DropNewest })
+        .serve(&trace, &["gold", "bronze"]);
+    assert_eq!(rep.completed(), req, "saturation probe must shed nothing");
+    let first = trace.first().map(|r| r.arrival).unwrap_or(0.0);
+    let last = rep.completions.iter().map(|c| c.done).fold(0.0f64, f64::max);
+    rep.completed() as f64 / (last - first)
+}
+
+/// The request at the exact p99 rank (ceil(0.99 * n), 1-based) when
+/// traces are sorted by latency.
+fn p99_request(traces: &[RequestTrace]) -> &RequestTrace {
+    let mut by_lat: Vec<&RequestTrace> = traces.iter().collect();
+    by_lat.sort_by(|a, b| a.latency().total_cmp(&b.latency()));
+    let rank = ((0.99 * by_lat.len() as f64).ceil() as usize).clamp(1, by_lat.len());
+    by_lat[rank - 1]
+}
+
+/// Mean of each component over the slowest ~1% of requests (at least
+/// one), i.e. the requests at or beyond the p99 rank.
+fn tail_means(traces: &[RequestTrace]) -> [f64; 7] {
+    let mut by_lat: Vec<&RequestTrace> = traces.iter().collect();
+    by_lat.sort_by(|a, b| b.latency().total_cmp(&a.latency()));
+    let k = (traces.len() / 100).max(1);
+    let tail = &by_lat[..k];
+    let mut out = [0.0f64; 7];
+    for t in tail {
+        for (i, (_, v)) in t.components().iter().enumerate() {
+            out[i] += v;
+        }
+    }
+    for v in &mut out {
+        *v /= k as f64;
+    }
+    out
+}
+
+fn component_row(label: &str, comps: &[(&'static str, f64)]) {
+    print!("  {label:>12}:");
+    for (name, v) in comps {
+        print!(" {name}={:.3}ms", v * 1e3);
+    }
+    println!();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sh = shape(smoke);
+    let (rival_name, rival_mapping) = sh.rival;
+    println!(
+        "request tracing: FFT-Hist {n}x{n} on {p} simulated Paragon nodes, dp vs {rival_name}",
+        n = sh.n,
+        p = sh.p
+    );
+
+    // Stress dp near its knee (90% of its saturation rate) and push the
+    // identical arrival trace through both mappings: the replicated
+    // mapping has headroom there, so the latency gap is the interesting
+    // quantity serve_capacity could only report end-to-end.
+    let sat_dp = saturation(&sh, FftHistMapping::DataParallel);
+    let offered = 0.9 * sat_dp;
+    println!("dp saturation {sat_dp:.2} req/s -> offered {offered:.2} req/s (both mappings)");
+
+    let dp = serve_traced(&sh, FftHistMapping::DataParallel, offered, sh.requests, 8);
+    let rv = serve_traced(&sh, rival_mapping, offered, sh.requests, 8);
+    for (name, rep) in [("dp", &dp), (rival_name, &rv)] {
+        assert!(rep.conserved(), "{name}: counters must conserve");
+        assert_eq!(
+            rep.request_traces.len(),
+            rep.completed(),
+            "{name}: every completion must carry a decomposition"
+        );
+        for t in &rep.request_traces {
+            let sum: f64 = t.components().iter().map(|(_, v)| *v).sum();
+            assert!(
+                (sum - t.latency()).abs() <= 1e-9 * t.latency().max(1e-9),
+                "{name}: request {} decomposition must sum to latency",
+                t.req
+            );
+        }
+    }
+
+    // Aggregate component quantiles per mapping (the dashboard view).
+    for (name, rep) in [("dp", &dp), (rival_name, &rv)] {
+        println!("\nmapping {name}: {} completions", rep.completed());
+        println!("  {:>10} {:>11} {:>11} {:>11}", "component", "p50 ms", "p99 ms", "mean ms");
+        for row in rep.request_breakdown() {
+            println!(
+                "  {:>10} {:>11.3} {:>11.3} {:>11.3}",
+                row.component,
+                row.p50 * 1e3,
+                row.p99 * 1e3,
+                row.mean * 1e3
+            );
+        }
+    }
+
+    // Attribution: the componentwise difference between the two
+    // mappings' p99-rank requests sums exactly to the p99 gap.
+    let dp99 = p99_request(&dp.request_traces);
+    let rv99 = p99_request(&rv.request_traces);
+    let gap = dp99.latency() - rv99.latency();
+    let diffs: Vec<(&'static str, f64)> = dp99
+        .components()
+        .iter()
+        .zip(rv99.components().iter())
+        .map(|((name, a), (_, b))| (*name, a - b))
+        .collect();
+    let attributed: f64 = diffs.iter().map(|(_, d)| *d).sum();
+    println!("\np99 gap (dp - {rival_name}): {:.3} ms", gap * 1e3);
+    component_row("dp p99 req", &dp99.components());
+    component_row("rival p99", &rv99.components());
+    component_row("gap", &diffs);
+    if gap.abs() > 1e-9 {
+        let frac = attributed / gap;
+        println!("attributed to named components: {:.1}%", frac * 100.0);
+        assert!(
+            frac >= 0.90,
+            "at least 90% of the p99 gap must be attributed: got {:.1}%",
+            frac * 100.0
+        );
+    }
+    if !smoke {
+        assert!(gap > 0.0, "dp at its knee must have a worse p99 than {rival_name}");
+    }
+
+    let dp_tail = tail_means(&dp.request_traces);
+    let rv_tail = tail_means(&rv.request_traces);
+
+    // Machine-readable results.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"program\": \"fft-hist\",\n  \"smoke\": {smoke},\n  \"p\": {},\n  \"n\": {},\n  \
+         \"requests\": {},\n  \"offered\": {:.4},\n  \"dp_saturation\": {:.4},\n  \
+         \"rival\": \"{rival_name}\",\n",
+        sh.p, sh.n, sh.requests, offered, sat_dp
+    ));
+    for (name, rep, tail) in [("dp", &dp, &dp_tail), ("rival", &rv, &rv_tail)] {
+        json.push_str(&format!("  \"{name}\": {{\n    \"breakdown\": [\n"));
+        let rows = rep.request_breakdown();
+        for (i, row) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"component\": \"{}\", \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"mean_s\": {:.9}}}{}\n",
+                row.component,
+                row.p50,
+                row.p99,
+                row.mean,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("    ],\n    \"tail_mean_s\": {");
+        for (i, name) in COMPONENTS.iter().enumerate() {
+            json.push_str(&format!(
+                "\"{name}\": {:.9}{}",
+                tail[i],
+                if i + 1 < COMPONENTS.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str("}\n  },\n");
+    }
+    json.push_str(&format!(
+        "  \"p99_gap_s\": {:.9},\n  \"p99_gap_attribution_s\": {{"
+        , gap
+    ));
+    for (i, (name, d)) in diffs.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{name}\": {:.9}{}",
+            d,
+            if i + 1 < diffs.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"attributed_frac\": {:.6}\n}}\n",
+        if gap.abs() > 1e-9 { attributed / gap } else { 1.0 }
+    ));
+    std::fs::write("BENCH_reqtrace.json", &json).expect("write BENCH_reqtrace.json");
+    println!("\nwrote BENCH_reqtrace.json");
+
+    // Sample per-request Chrome trace: the stressed mapping's slowest
+    // request, with cross-processor flow arrows — the artifact a human
+    // loads into a trace viewer when chasing a tail.
+    let slowest = dp
+        .request_traces
+        .iter()
+        .max_by(|a, b| a.latency().total_cmp(&b.latency()))
+        .expect("dp served at least one request");
+    let sample = dp
+        .request_trace_json(slowest.req)
+        .expect("traced run must export per-request JSON");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/request_trace_sample.json", &sample)
+        .expect("write request_trace_sample.json");
+    println!(
+        "wrote results/request_trace_sample.json (request {}, {:.3} ms end-to-end)",
+        slowest.req,
+        slowest.latency() * 1e3
+    );
+}

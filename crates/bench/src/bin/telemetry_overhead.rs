@@ -49,7 +49,11 @@ fn fan_in_ns(machine: &Machine, fan_in: usize, elems: usize, rounds: usize) -> f
         } else if me <= fan_in {
             let data: Vec<f64> = (0..elems).map(|i| (me * elems + i) as f64).collect();
             let mut in_flight = 0usize;
-            for _ in 0..warmup + rounds {
+            for round in 0..warmup + rounds {
+                // Stamp a fresh trace context each round (no-op when
+                // tracing is off) so the traced leg pays the full
+                // piggyback + adoption path on every message.
+                cx.set_trace(round as u64 + 1);
                 if in_flight == window {
                     let c = cx.recv_chunk(0, TAG_ACK);
                     cx.release_chunk(c);
@@ -99,18 +103,24 @@ fn main() {
     }));
     let off = Machine::real(p);
     let on = Machine::real(p).with_telemetry(Arc::clone(&telemetry));
+    let traced = Machine::real(p).with_telemetry(Arc::clone(&telemetry)).with_tracing(true);
 
-    // Interleave off/on pairs; best-of-N per leg is the least noisy
-    // observation of the same deterministic work on a shared host.
-    let (mut off_ns, mut on_ns) = (f64::INFINITY, f64::INFINITY);
+    // Interleave off/on/traced legs; best-of-N per leg is the least
+    // noisy observation of the same deterministic work on a shared host.
+    let (mut off_ns, mut on_ns, mut trace_ns) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for _ in 0..reps {
         off_ns = off_ns.min(fan_in_ns(&off, fan_in, elems, rounds));
         on_ns = on_ns.min(fan_in_ns(&on, fan_in, elems, rounds));
+        trace_ns = trace_ns.min(fan_in_ns(&traced, fan_in, elems, rounds));
     }
 
     let bytes = (rounds * fan_in * elems * 8) as f64;
     let gibs = |ns: f64| bytes / ns * 1e9 / (1u64 << 30) as f64;
     let overhead = on_ns / off_ns - 1.0;
+    // Tracing rides on top of telemetry in deployment, so its budget is
+    // measured against the telemetry-on leg: what does stamping,
+    // piggybacking and adopting a trace context per message add?
+    let trace_overhead = trace_ns / on_ns - 1.0;
 
     println!(
         "P={p} fan_in={fan_in} msg={} B rounds={rounds} (best of {reps}):",
@@ -118,7 +128,9 @@ fn main() {
     );
     println!("  telemetry off: {off_ns:>12.0} ns  {:.3} GiB/s", gibs(off_ns));
     println!("  telemetry on : {on_ns:>12.0} ns  {:.3} GiB/s", gibs(on_ns));
+    println!("  + tracing    : {trace_ns:>12.0} ns  {:.3} GiB/s", gibs(trace_ns));
     println!("  overhead     : {:+.2}% (budget < 5%)", overhead * 100.0);
+    println!("  trace ovhd   : {:+.2}% over telemetry (budget < 5%)", trace_overhead * 100.0);
     let total = telemetry.total();
     println!(
         "  final registry: {} sends, {} recvs, {} flight events recorded",
@@ -130,7 +142,9 @@ fn main() {
          \"executor\": \"{}\",\n  \"dataflow\": \"{}\",\n  \"heartbeat\": \"{}\",\n  \
          \"p\": {p},\n  \"fan_in\": {fan_in},\n  \"msg_bytes\": {},\n  \"rounds\": {rounds},\n  \
          \"reps\": {reps},\n  \"off_ns\": {off_ns:.0},\n  \"on_ns\": {on_ns:.0},\n  \
+         \"trace_ns\": {trace_ns:.0},\n  \
          \"off_gib_s\": {:.3},\n  \"on_gib_s\": {:.3},\n  \"overhead_frac\": {overhead:.4},\n  \
+         \"trace_overhead_frac\": {trace_overhead:.4},\n  \
          \"budget_frac\": 0.05\n}}\n",
         off.executor,
         off.dataflow,
@@ -147,6 +161,11 @@ fn main() {
             overhead < 0.05,
             "telemetry-on throughput must stay within 5% of off: measured {:+.2}%",
             overhead * 100.0
+        );
+        assert!(
+            trace_overhead < 0.05,
+            "tracing must stay within 5% of the telemetry-on leg: measured {:+.2}%",
+            trace_overhead * 100.0
         );
     }
 }

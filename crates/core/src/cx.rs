@@ -120,6 +120,34 @@ impl<'a> Cx<'a> {
         self.rt.profiling()
     }
 
+    /// True when causal trace propagation is enabled
+    /// (`Machine::with_tracing(true)` or `FX_TRACE=1`).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.rt.tracing()
+    }
+
+    /// Start (or switch) the causal trace this processor's work belongs
+    /// to; every subsequent span and outgoing message carries `id` until
+    /// [`Cx::clear_trace`]. No-op when tracing is off, so origin points
+    /// can stamp unconditionally.
+    #[inline]
+    pub fn set_trace(&mut self, id: u64) {
+        self.rt.set_trace(id);
+    }
+
+    /// Drop the active causal trace context.
+    #[inline]
+    pub fn clear_trace(&mut self) {
+        self.rt.clear_trace();
+    }
+
+    /// The active causal trace id (`0` = none).
+    #[inline]
+    pub fn trace(&self) -> u64 {
+        self.rt.trace()
+    }
+
     /// Execute `f` with `name` pushed onto the span scope path, so every
     /// span recorded inside (compute charges, send/recv busy halves) is
     /// tagged `…/name`. No-op when not profiling. Task regions push their

@@ -59,6 +59,6 @@ pub use region::TaskRegion;
 
 // Re-export the runtime surface users need alongside the model.
 pub use fx_runtime::{
-    DataflowMode, Grant, HeartbeatMode, Machine, MachineModel, Payload, ProcCtx, PromoteStats,
-    RunReport, TimeMode,
+    request_trace_id, DataflowMode, Grant, HeartbeatMode, Machine, MachineModel, Payload, ProcCtx,
+    PromoteStats, RunReport, TimeMode, TraceCtx, WindowBreakdown,
 };

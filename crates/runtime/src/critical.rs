@@ -199,29 +199,15 @@ impl CriticalPathReport {
 /// exact per `(sender, receiver, wire tag)`.
 type StreamKey = (usize, u32, u64);
 
-/// Walk the message dependency graph backwards from the last-finishing
-/// processor and return the critical path of the run.
-///
-/// `spans` is [`crate::RunReport::spans`], `times` is
-/// [`crate::RunReport::times`]; the run must have been executed with
-/// profiling enabled under simulated time (empty span logs yield a path
-/// that is all idle).
-pub fn critical_path(spans: &[SpanLog], times: &[f64]) -> CriticalPathReport {
-    assert_eq!(spans.len(), times.len(), "one span log per processor");
-    assert!(!spans.is_empty(), "critical path needs at least one processor");
-
-    // Last-finishing processor, lowest rank on ties.
-    let mut end_proc = 0usize;
-    for (p, &t) in times.iter().enumerate() {
-        if t > times[end_proc] {
-            end_proc = p;
-        }
-    }
-    let makespan = times[end_proc];
-
-    // FIFO send/recv matching per (sender, receiver, tag): the k-th recv
-    // of a stream matches the k-th send. Maps a receiver-side span to the
-    // (sender proc, sender span index) that produced its message.
+/// FIFO matching of receive spans to the sends that produced their
+/// messages: the k-th receive of a `(sender, receiver, tag)` stream
+/// matches the k-th send of the same stream (the runtime has no wildcard
+/// receive, so this is exact). Returns `(recv proc, recv span index) →
+/// (send proc, send span index)`. Shared by the critical-path walk and
+/// the Chrome-trace flow events.
+pub(crate) fn match_recvs_to_sends(
+    spans: &[SpanLog],
+) -> HashMap<(usize, usize), (usize, usize)> {
     let mut sends: HashMap<StreamKey, Vec<(usize, usize)>> = HashMap::new();
     for (p, log) in spans.iter().enumerate() {
         for (i, s) in log.spans().iter().enumerate() {
@@ -246,6 +232,33 @@ pub fn critical_path(spans: &[SpanLog], times: &[f64]) -> CriticalPathReport {
             }
         }
     }
+    recv_match
+}
+
+/// Walk the message dependency graph backwards from the last-finishing
+/// processor and return the critical path of the run.
+///
+/// `spans` is [`crate::RunReport::spans`], `times` is
+/// [`crate::RunReport::times`]; the run must have been executed with
+/// profiling enabled under simulated time (empty span logs yield a path
+/// that is all idle).
+pub fn critical_path(spans: &[SpanLog], times: &[f64]) -> CriticalPathReport {
+    assert_eq!(spans.len(), times.len(), "one span log per processor");
+    assert!(!spans.is_empty(), "critical path needs at least one processor");
+
+    // Last-finishing processor, lowest rank on ties.
+    let mut end_proc = 0usize;
+    for (p, &t) in times.iter().enumerate() {
+        if t > times[end_proc] {
+            end_proc = p;
+        }
+    }
+    let makespan = times[end_proc];
+
+    // FIFO send/recv matching per (sender, receiver, tag): the k-th recv
+    // of a stream matches the k-th send. Maps a receiver-side span to the
+    // (sender proc, sender span index) that produced its message.
+    let recv_match = match_recvs_to_sends(spans);
 
     // Backward walk. Cursor: processor, index of the next span to visit
     // (the span whose end we are at), current time.

@@ -16,7 +16,7 @@ use crate::model::TimeMode;
 use crate::pool::Pool;
 use crate::payload::{erase, unerase, BufferPool, Chunk, MsgBody, Payload};
 use crate::run::DataflowMode;
-use crate::span::{Span, SpanKind, SpanLog};
+use crate::span::{span_ref, Span, SpanKind, SpanLog, TraceCtx};
 use crate::telemetry::{ProcShard, Telemetry};
 use crate::trace::{DataflowStats, EventLog, HostStats, PlanStats};
 
@@ -28,6 +28,10 @@ pub(crate) struct World {
     pub recv_timeout: Duration,
     /// Record duration spans (see [`crate::Span`]) during the run.
     pub profile: bool,
+    /// Propagate causal trace contexts (see [`crate::TraceCtx`]) on
+    /// every message and adopt them on receive. Host-side only: tracing
+    /// never moves the virtual clock.
+    pub tracing: bool,
     /// Live telemetry registry (see [`crate::Telemetry`]); `None` keeps
     /// every hot path on the seed code shape.
     pub telemetry: Option<Arc<Telemetry>>,
@@ -92,6 +96,13 @@ pub struct ProcCtx {
     /// True when the machine profiles and time is simulated: duration
     /// spans are recorded on the virtual clock.
     profile: bool,
+    /// True when trace contexts are piggybacked on sends and adopted on
+    /// receives (`Machine::with_tracing` / `FX_TRACE`).
+    tracing: bool,
+    /// The causal trace context active on this processor (`NONE` when
+    /// untraced). Set at a trace origin via [`ProcCtx::set_trace`],
+    /// replaced by adoption whenever a traced message is received.
+    trace: TraceCtx,
     /// Virtual-time duration spans (empty unless profiling).
     spans: SpanLog,
     /// Byte offsets into `scope_path` marking each open scope's start.
@@ -129,6 +140,7 @@ impl ProcCtx {
         exec: ExecCtx,
     ) -> Self {
         let profile = world.profile && world.mode.is_simulated();
+        let tracing = world.tracing;
         let tl = world.telemetry.as_ref().map(|t| t.shard(rank));
         ProcCtx {
             rank,
@@ -144,6 +156,8 @@ impl ProcCtx {
             host: HostStats::default(),
             pool: BufferPool::default(),
             profile,
+            tracing,
+            trace: TraceCtx::NONE,
             spans: SpanLog::default(),
             scope_stack: Vec::new(),
             scope_path: String::new(),
@@ -242,8 +256,26 @@ impl ProcCtx {
         if self.profile {
             let path = self.current_path();
             let end = self.clock;
-            self.spans.push_compute(t0, end, path);
+            let trace = self.trace.id;
+            self.spans.push_compute(t0, end, path, trace);
         }
+    }
+
+    /// The trace context to piggyback on an outgoing message: the active
+    /// context with `parent` pointing at the send span just recorded (or
+    /// the context as-is when spans are off). `NONE` when tracing is off
+    /// or no trace is active.
+    #[inline]
+    fn outgoing_trace(&self) -> TraceCtx {
+        if !self.tracing || self.trace.id == 0 {
+            return TraceCtx::NONE;
+        }
+        let parent = if self.profile && !self.spans.is_empty() {
+            span_ref(self.rank, self.spans.len() - 1)
+        } else {
+            self.trace.parent
+        };
+        TraceCtx { id: self.trace.id, parent }
     }
 
     /// Advance the clock for an outgoing message of `nbytes` and return
@@ -279,6 +311,7 @@ impl ProcCtx {
             arrival,
             nbytes,
             enqueued: t0,
+            trace: self.outgoing_trace(),
             payload: MsgBody::Boxed(payload),
         });
         let ns = t0.elapsed().as_nanos() as u64;
@@ -350,6 +383,7 @@ impl ProcCtx {
             arrival,
             nbytes,
             enqueued: t0,
+            trace: self.outgoing_trace(),
             payload: MsgBody::Chunk(chunk),
         });
         let ns = t0.elapsed().as_nanos() as u64;
@@ -437,6 +471,13 @@ impl ProcCtx {
             let wall = t0.duration_since(self.start).as_nanos() as u64 + waited;
             sh.on_recv(env.nbytes as u64, waited, wall, self.vbits(), src, tag);
         }
+        // Adopt a piggybacked trace context *before* recording the recv
+        // span, so the busy half of the receive — the first local work
+        // done on behalf of the incoming operation — is already tagged
+        // with its trace. Untraced messages leave the context alone.
+        if self.tracing && env.trace.id != 0 {
+            self.trace = env.trace;
+        }
         if let TimeMode::Simulated(m) = self.world.mode {
             let ready = self.clock.max(env.arrival);
             let t = ready + m.recv_busy(env.nbytes);
@@ -444,6 +485,7 @@ impl ProcCtx {
                 // The wait `[clock, ready]` is left as a gap (idle); only
                 // the busy half `[ready, t]` becomes a span.
                 let path = self.current_path();
+                let trace = self.trace.id;
                 self.spans.push_msg(Span {
                     start: ready,
                     end: t,
@@ -452,6 +494,7 @@ impl ProcCtx {
                     peer: src as u32,
                     tag,
                     arrival: env.arrival,
+                    trace,
                 });
             }
             self.clock = t;
@@ -464,6 +507,7 @@ impl ProcCtx {
     fn span_send(&mut self, v0: f64, dst: usize, tag: u64, arrival: f64) {
         if self.profile {
             let path = self.current_path();
+            let trace = self.trace.id;
             self.spans.push_msg(Span {
                 start: v0,
                 end: self.clock,
@@ -472,6 +516,7 @@ impl ProcCtx {
                 peer: dst as u32,
                 tag,
                 arrival,
+                trace,
             });
         }
     }
@@ -586,6 +631,53 @@ impl ProcCtx {
     /// time). The complete log lands in [`crate::RunReport::spans`].
     pub fn spans(&self) -> &SpanLog {
         &self.spans
+    }
+
+    /// Index of the next span to be recorded — a mark for later windowed
+    /// queries with [`SpanLog::window_breakdown`].
+    #[inline]
+    pub fn span_mark(&self) -> usize {
+        self.spans.len()
+    }
+
+    // ----- causal tracing --------------------------------------------------
+
+    /// True when trace contexts are being propagated
+    /// (`Machine::with_tracing(true)` / `FX_TRACE=1`).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Start (or switch to) trace `id` at this processor: subsequent
+    /// spans are tagged with it and subsequent sends piggyback it. A
+    /// no-op when tracing is off, so origin stamping can stay
+    /// unconditional in application code. `0` clears the context.
+    #[inline]
+    pub fn set_trace(&mut self, id: u64) {
+        if self.tracing {
+            self.trace = TraceCtx::root(id);
+        }
+    }
+
+    /// Clear the active trace context (e.g. after a request batch, so
+    /// scheduler machinery is not attributed to the last request).
+    #[inline]
+    pub fn clear_trace(&mut self) {
+        self.trace = TraceCtx::NONE;
+    }
+
+    /// The trace id active on this processor (`0` = untraced).
+    #[inline]
+    pub fn trace(&self) -> u64 {
+        self.trace.id
+    }
+
+    /// The full active trace context, including the causal parent link
+    /// adopted from the last traced message received.
+    #[inline]
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace
     }
 
     /// Shared copy of the current scope path (`None` at top level).

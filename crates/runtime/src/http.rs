@@ -108,10 +108,19 @@ fn serve_one(stream: &mut TcpStream, telemetry: &Telemetry) -> std::io::Result<(
         ),
         "/metrics.json" => ("200 OK", "application/json", telemetry.render_json()),
         "/flight" => ("200 OK", "text/plain; charset=utf-8", telemetry.flight_dump()),
+        "/trace" => ("200 OK", "text/plain; charset=utf-8", trace_index(telemetry)),
+        p if p.starts_with("/trace/") => match lookup_trace(telemetry, &p["/trace/".len()..]) {
+            Some(json) => ("200 OK", "application/json", json),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!("no retained trace {}; see /trace for the ring\n", &p["/trace/".len()..]),
+            ),
+        },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /metrics.json /flight\n".to_string(),
+            "routes: /metrics /metrics.json /flight /trace /trace/<id>\n".to_string(),
         ),
     };
     let response = format!(
@@ -119,6 +128,28 @@ fn serve_one(stream: &mut TcpStream, telemetry: &Telemetry) -> std::io::Result<(
         body.len()
     );
     stream.write_all(response.as_bytes())
+}
+
+/// The `/trace` index: one line per retained exemplar trace, slowest
+/// first, with the hex id to paste into `/trace/<id>`.
+fn trace_index(telemetry: &Telemetry) -> String {
+    let traces = telemetry.exemplar_traces();
+    if traces.is_empty() {
+        return "no retained traces (serve with tracing on)\n".to_string();
+    }
+    let mut out = String::from("retained exemplar traces (slowest first):\n");
+    for e in traces {
+        out.push_str(&format!("  /trace/{:016x}  latency {} ns\n", e.trace_id, e.latency_ns));
+    }
+    out
+}
+
+/// Resolve `/trace/<id>` — the id in hex, with or without leading zeros
+/// or a `0x` prefix (the forms `/trace` and the OpenMetrics exemplars
+/// print) — to the retained per-request Chrome-trace JSON.
+fn lookup_trace(telemetry: &Telemetry, id: &str) -> Option<String> {
+    let id = u64::from_str_radix(id.trim_start_matches("0x"), 16).ok()?;
+    telemetry.exemplar_trace(id).map(|e| e.json)
 }
 
 #[cfg(test)]
@@ -171,6 +202,35 @@ mod tests {
     }
 
     #[test]
+    fn trace_routes_serve_the_exemplar_ring() {
+        let telemetry = Arc::new(Telemetry::new());
+        let server = TelemetryServer::serve(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Empty ring: the index explains itself, a lookup 404s.
+        let idx = get(addr, "/trace");
+        assert!(idx.starts_with("HTTP/1.1 200 OK"), "{idx}");
+        assert!(idx.contains("no retained traces"), "{idx}");
+        assert!(get(addr, "/trace/dead").starts_with("HTTP/1.1 404"));
+
+        telemetry.offer_exemplar_trace(0xDEAD, 5_000, || "{\"traceEvents\":[]}".to_string());
+        let idx = get(addr, "/trace");
+        assert!(idx.contains("/trace/000000000000dead"), "{idx}");
+        // Hex with and without leading zeros or a 0x prefix all resolve
+        // to the same retained trace.
+        for id in ["dead", "000000000000dead", "0xdead"] {
+            let hit = get(addr, &format!("/trace/{id}"));
+            assert!(hit.starts_with("HTTP/1.1 200 OK"), "/trace/{id}: {hit}");
+            assert!(hit.contains("{\"traceEvents\":[]}"), "{hit}");
+            assert!(hit.contains("application/json"));
+        }
+        assert!(get(addr, "/trace/beef").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/trace/notahexid").starts_with("HTTP/1.1 404"));
+        // The 404 listing advertises the new routes.
+        assert!(get(addr, "/nope").contains("/trace/<id>"));
+    }
+
+    #[test]
     fn request_line_split_across_segments_parses_whole_path() {
         let telemetry = Arc::new(Telemetry::new());
         let server = TelemetryServer::serve(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
@@ -202,5 +262,20 @@ mod tests {
         s.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
         assert!(out.contains("application/json"), "{out}");
+
+        // The prefix-matched /trace/<id> route through the same
+        // multi-segment path: a split inside the id must not truncate it
+        // into a different (or invalid) trace id.
+        telemetry.offer_exemplar_trace(0xFEED, 1_000, || "{\"traceEvents\":[]}".to_string());
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        s.write_all(b"GET /trace/00000000").unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        s.write_all(b"0000feed HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "split trace id must still route: {out}");
+        assert!(out.contains("{\"traceEvents\":[]}"), "{out}");
     }
 }

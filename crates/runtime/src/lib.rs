@@ -53,11 +53,16 @@ pub use http::TelemetryServer;
 pub use model::{MachineModel, TimeMode};
 pub use payload::{Chunk, Payload};
 pub use run::{run, DataflowMode, Executor, Machine, RunReport};
-pub use span::{Span, SpanAccounting, SpanKind, SpanLog};
+pub use span::{
+    request_trace_id, span_ref, span_ref_parts, Span, SpanAccounting, SpanKind, SpanLog, TraceCtx,
+    WindowBreakdown,
+};
 pub use stall::{StallReport, StalledProc};
 pub use telemetry::{
-    Histogram, HistogramSnapshot, ProcTotals, Telemetry, TelemetryConfig, TelemetrySnapshot, TenantStats, TenantTotals,
+    ExemplarTrace, Histogram, HistogramSnapshot, ProcTotals, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, TenantStats, TenantTotals,
 };
 pub use trace::{
-    chrome_trace_full_json, chrome_trace_json, DataflowStats, Event, EventLog, HostStats, PlanStats,
+    chrome_trace_full_json, chrome_trace_json, chrome_trace_request_json, DataflowStats, Event,
+    EventLog, HostStats, PlanStats,
 };

@@ -55,6 +55,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::coro::{YieldKind, Yielder};
 use crate::payload::MsgBody;
 use crate::pool::Pool;
+use crate::span::TraceCtx;
 
 /// A message at rest in a mailbox.
 pub(crate) struct Envelope {
@@ -70,6 +71,12 @@ pub(crate) struct Envelope {
     /// Wall-clock deposit time, so diagnostics can report how long the
     /// message has been waiting unreceived.
     pub enqueued: Instant,
+    /// Causal trace context piggybacked by the sender (`id == 0` =
+    /// untraced). The receiver adopts a non-zero trace on take, which is
+    /// how a logical operation's identity crosses processor boundaries —
+    /// identically for boxed and chunk payloads, and invisible to the
+    /// cost model.
+    pub trace: TraceCtx,
     /// The message body (type-erased box or pooled byte chunk).
     pub payload: MsgBody,
 }
@@ -414,6 +421,7 @@ mod tests {
             arrival: 0.0,
             nbytes,
             enqueued: Instant::now(),
+            trace: TraceCtx::NONE,
             payload: MsgBody::Boxed(payload),
         }
     }

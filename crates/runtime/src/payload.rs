@@ -16,7 +16,10 @@
 //!   indirection, bytes copied exactly twice (pack in, unpack out).
 //!
 //! Both forms charge the same wire size, so virtual time is identical
-//! whichever path a program uses.
+//! whichever path a program uses. Either way the payload rides inside a
+//! mailbox `Envelope` alongside its metadata — including the 16-byte
+//! causal [`TraceCtx`](crate::TraceCtx) piggyback, which is host-side
+//! bookkeeping and never part of the charged wire size.
 
 use std::any::{Any, TypeId};
 

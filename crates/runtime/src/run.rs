@@ -119,6 +119,17 @@ impl std::fmt::Display for DataflowMode {
     }
 }
 
+/// Causal-tracing default: `FX_TRACE` (`1`/`on` to enable, `0`/`off` to
+/// disable) on top of a mode default of off. An explicit
+/// [`Machine::with_tracing`] always wins.
+fn tracing_from_env(default: bool) -> bool {
+    match std::env::var("FX_TRACE").as_deref() {
+        Ok("1") | Ok("on") | Ok("true") => true,
+        Ok("0") | Ok("off") | Ok("false") => false,
+        _ => default,
+    }
+}
+
 /// Deadlock-watchdog default: `FX_RECV_TIMEOUT_MS` if set, else 60 s.
 /// An explicit [`Machine::with_timeout`] always wins.
 fn default_recv_timeout() -> Duration {
@@ -163,6 +174,12 @@ pub struct Machine {
     /// Virtual seconds of charged compute between heartbeats
     /// (`FX_HEARTBEAT_US` microseconds; default 1000 us).
     pub heartbeat_period: f64,
+    /// Piggyback causal trace contexts on every message and adopt them on
+    /// receive (see [`crate::TraceCtx`]; default off, `FX_TRACE`
+    /// overrides the default, an explicit [`Machine::with_tracing`]
+    /// overrides everything). Host-side observability only: virtual
+    /// times are bit-identical with tracing on or off.
+    pub tracing: bool,
 }
 
 impl Machine {
@@ -178,6 +195,7 @@ impl Machine {
             dataflow: DataflowMode::from_env(DataflowMode::On),
             heartbeat: HeartbeatMode::from_env(HeartbeatMode::On),
             heartbeat_period: default_heartbeat_period(),
+            tracing: tracing_from_env(false),
         }
     }
 
@@ -193,6 +211,7 @@ impl Machine {
             dataflow: DataflowMode::from_env(DataflowMode::On),
             heartbeat: HeartbeatMode::from_env(HeartbeatMode::Off),
             heartbeat_period: default_heartbeat_period(),
+            tracing: tracing_from_env(false),
         }
     }
 
@@ -238,6 +257,16 @@ impl Machine {
     /// observability and never perturbs the virtual clock.
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.profile = on;
+        self
+    }
+
+    /// Enable or disable causal trace propagation (off by default),
+    /// overriding the `FX_TRACE` environment. Trace contexts ride on
+    /// every message and are adopted on receive; combine with
+    /// [`Machine::with_profiling`] to tag spans with trace ids. Never
+    /// perturbs the virtual clock.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -416,6 +445,7 @@ where
         off.dataflow = DataflowMode::Off;
         off.telemetry = None;
         off.profile = false;
+        off.tracing = false;
         let off_rep = run_resolved(&off, &f);
         let mut on = machine.clone();
         on.dataflow = DataflowMode::On;
@@ -461,6 +491,7 @@ where
             .collect(),
         recv_timeout: machine.recv_timeout,
         profile: machine.profile,
+        tracing: machine.tracing,
         telemetry: telemetry.clone(),
         dataflow: machine.dataflow,
         heartbeat: machine.heartbeat,

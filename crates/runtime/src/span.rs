@@ -17,6 +17,63 @@
 
 use std::sync::Arc;
 
+/// Causal trace context carried by a processor and piggybacked on every
+/// message it sends (boxed and chunk paths alike).
+///
+/// `id` names the logical operation (e.g. one serving request) all work
+/// downstream of an origin belongs to; `parent` is the globally-unique
+/// reference (see [`span_ref`]) of the send span that carried the
+/// context here, `0` at the origin. A receiver *adopts* an incoming
+/// non-zero context before recording its recv span, so the spans of one
+/// logical operation link across processors into one causal DAG.
+/// Propagation is pure host-side bookkeeping: it never touches the
+/// virtual clock, so virtual times are bit-identical with tracing on or
+/// off.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id of the logical operation (`0` = untraced).
+    pub id: u64,
+    /// [`span_ref`] of the send span this context arrived on (`0` at the
+    /// trace origin).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// An untraced context.
+    pub const NONE: TraceCtx = TraceCtx { id: 0, parent: 0 };
+
+    /// A root context (no parent) for trace `id`.
+    pub fn root(id: u64) -> Self {
+        TraceCtx { id, parent: 0 }
+    }
+}
+
+/// Globally-unique reference to span `idx` of processor `rank`, used as
+/// the `parent` link in a piggybacked [`TraceCtx`]. Rank is offset by one
+/// so a valid reference is never `0` (the "no parent" sentinel).
+#[inline]
+pub fn span_ref(rank: usize, idx: usize) -> u64 {
+    ((rank as u64 + 1) << 40) | idx as u64
+}
+
+/// Invert [`span_ref`] into `(rank, span index)`.
+#[inline]
+pub fn span_ref_parts(r: u64) -> (usize, usize) {
+    (((r >> 40) - 1) as usize, (r & ((1u64 << 40) - 1)) as usize)
+}
+
+/// Deterministic non-zero trace id for serving request `req` (the
+/// request's position in the arrival trace). A pure function of the
+/// index — SplitMix64's finalizer — so every processor derives the same
+/// id without communication, and ids are well-spread for use as keys.
+pub fn request_trace_id(req: usize) -> u64 {
+    let mut z = (req as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.max(1)
+}
+
 /// What a span's interval of virtual time was spent on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
@@ -58,6 +115,11 @@ pub struct Span {
     /// payload becomes available to the receiver; for receives, when it
     /// became available here. `0.0` for compute spans.
     pub arrival: f64,
+    /// Causal trace id active when the span was recorded (`0` = none).
+    /// Sends stamp the sender's trace onto the envelope; receives adopt
+    /// the incoming trace before the recv span is pushed, so the spans of
+    /// one logical operation link across processors into one trace.
+    pub trace: u64,
 }
 
 impl Span {
@@ -95,6 +157,48 @@ impl SpanAccounting {
     }
 }
 
+/// Exact decomposition of one window `[t0, t1]` of a processor's virtual
+/// time, produced by [`SpanLog::window_breakdown`]. All fields are in
+/// virtual seconds and the six buckets sum to exactly `t1 - t0` by
+/// construction (spans are disjoint; everything uncovered is idle).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct WindowBreakdown {
+    /// Busy time under a `barrier*` scope (synchronization cost, both the
+    /// send and recv halves of barrier token exchanges).
+    pub barrier: f64,
+    /// Sender-side busy time outside barriers.
+    pub send: f64,
+    /// Receiver-side busy time outside barriers.
+    pub recv: f64,
+    /// Local compute.
+    pub compute: f64,
+    /// Busy time attributed to a *different* trace id — in a serving
+    /// batch this is time the processor spent on batch-mates while this
+    /// request's completion clock was running.
+    pub other: f64,
+    /// Uncovered time in the window (blocked receives, barrier waits,
+    /// idle jumps).
+    pub idle: f64,
+}
+
+impl WindowBreakdown {
+    /// Sum of all buckets; equals the window length by construction.
+    pub fn total(&self) -> f64 {
+        self.barrier + self.send + self.recv + self.compute + self.other + self.idle
+    }
+}
+
+/// True when any `/`-separated component of the path starts with
+/// `barrier` (matches both plain `barrier` and `barrier[p0-2]` member
+/// labels — same rule as the critical-path analyzer's barrier-wait
+/// attribution).
+pub(crate) fn is_barrier_path(path: &Option<Arc<str>>) -> bool {
+    match path {
+        None => false,
+        Some(p) => p.split('/').any(|c| c.starts_with("barrier")),
+    }
+}
+
 /// Per-processor span log.
 #[derive(Debug, Default, Clone)]
 pub struct SpanLog {
@@ -118,19 +222,33 @@ impl SpanLog {
     }
 
     /// Append a compute span, merging into the previous span when it is
-    /// an adjacent compute span with the same path (keeps tight
-    /// charge-loops from growing the log unboundedly).
-    pub(crate) fn push_compute(&mut self, start: f64, end: f64, path: Option<Arc<str>>) {
+    /// an adjacent compute span with the same path and trace id (keeps
+    /// tight charge-loops from growing the log unboundedly; never merges
+    /// across a request boundary, so per-trace slicing stays exact).
+    pub(crate) fn push_compute(&mut self, start: f64, end: f64, path: Option<Arc<str>>, trace: u64) {
         if end <= start {
             return;
         }
         if let Some(last) = self.spans.last_mut() {
-            if last.kind == SpanKind::Compute && last.end == start && paths_eq(&last.path, &path) {
+            if last.kind == SpanKind::Compute
+                && last.end == start
+                && last.trace == trace
+                && paths_eq(&last.path, &path)
+            {
                 last.end = end;
                 return;
             }
         }
-        self.spans.push(Span { start, end, kind: SpanKind::Compute, path, peer: u32::MAX, tag: 0, arrival: 0.0 });
+        self.spans.push(Span {
+            start,
+            end,
+            kind: SpanKind::Compute,
+            path,
+            peer: u32::MAX,
+            tag: 0,
+            arrival: 0.0,
+            trace,
+        });
     }
 
     /// Append a send or recv span (zero-width spans are kept: the
@@ -158,6 +276,43 @@ impl SpanLog {
         }
         acc.idle = (until - acc.compute - acc.send - acc.recv).max(0.0);
         acc
+    }
+
+    /// Exact decomposition of the window `[t0, t1]`, considering only
+    /// spans at index `mark` and beyond (a mark taken with
+    /// [`SpanLog::len`] before the windowed work begins keeps earlier
+    /// history out of the scan). Each span's overlap with the window is
+    /// classified into one bucket:
+    ///
+    /// * a `barrier*` scope → `barrier`, whatever the kind or trace;
+    /// * a different non-zero trace than `own` (when `own != 0`) →
+    ///   `other` (work on behalf of someone else, e.g. batch-mates);
+    /// * otherwise by span kind → `send` / `recv` / `compute`.
+    ///
+    /// `idle` is the remainder, so the buckets sum to exactly `t1 - t0`.
+    pub fn window_breakdown(&self, mark: usize, t0: f64, t1: f64, own: u64) -> WindowBreakdown {
+        let mut b = WindowBreakdown::default();
+        let mut busy = 0.0;
+        for s in self.spans.iter().skip(mark) {
+            let d = (s.end.min(t1) - s.start.max(t0)).max(0.0);
+            if d == 0.0 {
+                continue;
+            }
+            busy += d;
+            if is_barrier_path(&s.path) {
+                b.barrier += d;
+            } else if own != 0 && s.trace != 0 && s.trace != own {
+                b.other += d;
+            } else {
+                match s.kind {
+                    SpanKind::Compute => b.compute += d,
+                    SpanKind::Send => b.send += d,
+                    SpanKind::Recv => b.recv += d,
+                }
+            }
+        }
+        b.idle = ((t1 - t0) - busy).max(0.0);
+        b
     }
 
     /// Busy time (compute + send + recv) of spans whose path has `label`
@@ -212,25 +367,37 @@ mod tests {
     #[test]
     fn compute_spans_merge_when_adjacent() {
         let mut log = SpanLog::default();
-        log.push_compute(0.0, 1.0, None);
-        log.push_compute(1.0, 2.0, None);
+        log.push_compute(0.0, 1.0, None, 0);
+        log.push_compute(1.0, 2.0, None, 0);
         assert_eq!(log.len(), 1);
         assert_eq!(log.spans()[0].end, 2.0);
         // A gap breaks the merge.
-        log.push_compute(3.0, 4.0, None);
+        log.push_compute(3.0, 4.0, None, 0);
         assert_eq!(log.len(), 2);
         // A different path breaks the merge.
-        log.push_compute(4.0, 5.0, Some(Arc::from("g")));
+        log.push_compute(4.0, 5.0, Some(Arc::from("g")), 0);
         assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn compute_spans_never_merge_across_traces() {
+        let mut log = SpanLog::default();
+        log.push_compute(0.0, 1.0, None, 7);
+        log.push_compute(1.0, 2.0, None, 7);
+        assert_eq!(log.len(), 1, "same trace merges");
+        log.push_compute(2.0, 3.0, None, 8);
+        assert_eq!(log.len(), 2, "a trace boundary breaks the merge");
+        assert_eq!(log.spans()[0].trace, 7);
+        assert_eq!(log.spans()[1].trace, 8);
     }
 
     #[test]
     fn accounting_buckets_and_idle() {
         let mut log = SpanLog::default();
-        log.push_compute(0.0, 2.0, None);
-        log.push_msg(Span { start: 2.0, end: 2.5, kind: SpanKind::Send, path: None, peer: 1, tag: 7, arrival: 2.6 });
+        log.push_compute(0.0, 2.0, None, 0);
+        log.push_msg(Span { start: 2.0, end: 2.5, kind: SpanKind::Send, path: None, peer: 1, tag: 7, arrival: 2.6, trace: 0 });
         // gap [2.5, 4.0] = idle
-        log.push_msg(Span { start: 4.0, end: 4.25, kind: SpanKind::Recv, path: None, peer: 1, tag: 8, arrival: 4.0 });
+        log.push_msg(Span { start: 4.0, end: 4.25, kind: SpanKind::Recv, path: None, peer: 1, tag: 8, arrival: 4.0, trace: 0 });
         let acc = log.accounting(5.0);
         assert_eq!(acc.compute, 2.0);
         assert_eq!(acc.send, 0.5);
@@ -243,9 +410,9 @@ mod tests {
     #[test]
     fn label_queries_match_first_component() {
         let mut log = SpanLog::default();
-        log.push_compute(0.0, 1.0, Some(Arc::from("G1")));
-        log.push_compute(2.0, 3.0, Some(Arc::from("G1/assign2")));
-        log.push_compute(3.0, 4.0, Some(Arc::from("G2")));
+        log.push_compute(0.0, 1.0, Some(Arc::from("G1")), 0);
+        log.push_compute(2.0, 3.0, Some(Arc::from("G1/assign2")), 0);
+        log.push_compute(3.0, 4.0, Some(Arc::from("G2")), 0);
         assert_eq!(log.busy_under("G1"), 2.0);
         assert_eq!(log.window_under("G1"), Some((0.0, 3.0)));
         assert_eq!(log.window_under("G2"), Some((3.0, 4.0)));
@@ -254,9 +421,41 @@ mod tests {
     }
 
     #[test]
+    fn window_breakdown_is_exact_and_clips() {
+        let mut log = SpanLog::default();
+        log.push_compute(0.0, 0.9, None, 5); // before the mark: ignored
+        let mark = log.len();
+        log.push_compute(1.0, 2.0, None, 5); // straddles t0=1.5: clipped
+        log.push_msg(Span { start: 2.0, end: 2.5, kind: SpanKind::Send, path: None, peer: 1, tag: 1, arrival: 2.6, trace: 5 });
+        log.push_msg(Span {
+            start: 2.5,
+            end: 2.75,
+            kind: SpanKind::Recv,
+            path: Some(Arc::from("barrier[p0-1]")),
+            peer: 1,
+            tag: 2,
+            arrival: 2.5,
+            trace: 5,
+        });
+        log.push_compute(3.0, 3.5, None, 9); // someone else's trace
+        log.push_compute(4.0, 6.0, None, 5); // straddles t1=5.0: clipped
+        let b = log.window_breakdown(mark, 1.5, 5.0, 5);
+        assert!((b.compute - (0.5 + 1.0)).abs() < 1e-12, "{b:?}");
+        assert!((b.send - 0.5).abs() < 1e-12);
+        assert!((b.barrier - 0.25).abs() < 1e-12);
+        assert!((b.other - 0.5).abs() < 1e-12);
+        assert_eq!(b.recv, 0.0);
+        assert!((b.total() - 3.5).abs() < 1e-12, "buckets must sum to the window");
+        // With own=0 the trace filter is off: everything by kind.
+        let b0 = log.window_breakdown(mark, 1.5, 5.0, 0);
+        assert_eq!(b0.other, 0.0);
+        assert!((b0.compute - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn zero_width_compute_spans_are_dropped() {
         let mut log = SpanLog::default();
-        log.push_compute(1.0, 1.0, None);
+        log.push_compute(1.0, 1.0, None, 0);
         assert!(log.is_empty());
     }
 }

@@ -429,6 +429,9 @@ pub struct TelemetryConfig {
     pub stall_window: Duration,
     /// How often the stall sampler wakes to check progress counters.
     pub stall_sample_every: Duration,
+    /// How many slowest-request exemplar traces the serving layer retains
+    /// (the `/trace/<id>` ring); 0 disables retention.
+    pub exemplar_trace_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -438,8 +441,22 @@ impl Default for TelemetryConfig {
             stall: true,
             stall_window: Duration::from_millis(1000),
             stall_sample_every: Duration::from_millis(50),
+            exemplar_trace_capacity: 8,
         }
     }
+}
+
+/// One retained slowest-request trace: the id, the end-to-end latency
+/// that earned it a ring slot, and the rendered per-request Chrome-trace
+/// JSON (see [`crate::chrome_trace_request_json`]).
+#[derive(Debug, Clone)]
+pub struct ExemplarTrace {
+    /// Causal trace id of the request.
+    pub trace_id: u64,
+    /// End-to-end latency in virtual nanoseconds.
+    pub latency_ns: u64,
+    /// Per-request Chrome-trace JSON document.
+    pub json: String,
 }
 
 /// Per-run registry state, swapped wholesale by [`Telemetry::begin_run`].
@@ -479,6 +496,13 @@ pub struct TenantStats {
     /// Completion latency (arrival to last-stage completion) in
     /// nanoseconds of virtual time.
     pub latency_ns: Histogram,
+    /// Trace id of the most recent traced sample per latency bucket
+    /// (`0` = none): the OpenMetrics exemplar linking a p999 bucket to
+    /// the request that landed in it.
+    exemplar_trace: [AtomicU64; HIST_FINITE + 1],
+    /// Observed latency of the exemplar per bucket (the exemplar's
+    /// required value field).
+    exemplar_value: [AtomicU64; HIST_FINITE + 1],
 }
 
 impl TenantStats {
@@ -490,6 +514,8 @@ impl TenantStats {
             shed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             latency_ns: Histogram::default(),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -505,6 +531,22 @@ impl TenantStats {
         self.latency_ns.record_shared(latency_ns);
     }
 
+    /// Record one request completion carrying a causal trace id: like
+    /// [`TenantStats::on_complete`], but the latency bucket the sample
+    /// lands in also remembers `trace_id` as its exemplar (most recent
+    /// traced sample wins). `trace_id == 0` records without an exemplar.
+    pub fn on_complete_traced(&self, latency_ns: u64, trace_id: u64) {
+        self.on_complete(latency_ns);
+        if trace_id != 0 {
+            let i = bucket_index(latency_ns);
+            // Value first, id second: a torn read pairs an id with some
+            // traced sample's value from the same bucket — both relaxed
+            // because exemplars are best-effort debugging pointers.
+            self.exemplar_value[i].store(latency_ns, Ordering::Relaxed);
+            self.exemplar_trace[i].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
     /// Plain copy of this tenant's counters and latency histogram.
     pub fn totals(&self) -> TenantTotals {
         TenantTotals {
@@ -514,6 +556,14 @@ impl TenantStats {
             shed: self.shed.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             latency_ns: self.latency_ns.snapshot(),
+            exemplars: (0..=HIST_FINITE)
+                .map(|i| {
+                    (
+                        self.exemplar_trace[i].load(Ordering::Relaxed),
+                        self.exemplar_value[i].load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -545,6 +595,9 @@ pub struct Telemetry {
     config: TelemetryConfig,
     inner: Mutex<Inner>,
     stall_reports: Mutex<Vec<StallReport>>,
+    /// Bounded slowest-N request traces (see
+    /// [`Telemetry::offer_exemplar_trace`]).
+    exemplar_traces: Mutex<Vec<ExemplarTrace>>,
 }
 
 impl Default for Telemetry {
@@ -584,6 +637,7 @@ impl Telemetry {
                 tenants: Vec::new(),
             }),
             stall_reports: Mutex::new(Vec::new()),
+            exemplar_traces: Mutex::new(Vec::new()),
         }
     }
 
@@ -645,7 +699,54 @@ impl Telemetry {
     pub fn begin_tenants(&self, names: &[&str]) -> Vec<Arc<TenantStats>> {
         let tenants: Vec<Arc<TenantStats>> = names.iter().map(|n| Arc::new(TenantStats::new(n))).collect();
         self.inner.lock().tenants = tenants.clone();
+        // A new tenant set starts a new serving session: retained
+        // exemplar traces belong to the previous one.
+        self.exemplar_traces.lock().clear();
         tenants
+    }
+
+    /// Offer a request trace to the slowest-N exemplar ring. The ring
+    /// keeps the [`TelemetryConfig::exemplar_trace_capacity`] slowest
+    /// requests seen this serving session; `render` is only invoked when
+    /// the request actually earns a slot, so callers can offer every
+    /// completion without paying for JSON rendering on the fast path.
+    pub fn offer_exemplar_trace(
+        &self,
+        trace_id: u64,
+        latency_ns: u64,
+        render: impl FnOnce() -> String,
+    ) {
+        let cap = self.config.exemplar_trace_capacity;
+        if cap == 0 || trace_id == 0 {
+            return;
+        }
+        let mut ring = self.exemplar_traces.lock();
+        if ring.len() >= cap {
+            // Evict the fastest retained trace if this one is slower.
+            let (min_i, min_lat) = ring
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.latency_ns))
+                .min_by_key(|&(_, l)| l)
+                .expect("ring is non-empty");
+            if latency_ns <= min_lat {
+                return;
+            }
+            ring.swap_remove(min_i);
+        }
+        ring.push(ExemplarTrace { trace_id, latency_ns, json: render() });
+    }
+
+    /// Look up a retained exemplar trace by its trace id.
+    pub fn exemplar_trace(&self, trace_id: u64) -> Option<ExemplarTrace> {
+        self.exemplar_traces.lock().iter().find(|e| e.trace_id == trace_id).cloned()
+    }
+
+    /// The retained exemplar traces, slowest first.
+    pub fn exemplar_traces(&self) -> Vec<ExemplarTrace> {
+        let mut out = self.exemplar_traces.lock().clone();
+        out.sort_by(|a, b| b.latency_ns.cmp(&a.latency_ns).then(a.trace_id.cmp(&b.trace_id)));
+        out
     }
 
     /// The currently registered tenant handles (empty outside serving).
@@ -878,16 +979,23 @@ impl Telemetry {
                 let mut cumulative = 0u64;
                 for (i, &c) in t.latency_ns.buckets.iter().enumerate() {
                     cumulative += c;
-                    if i < HIST_FINITE {
-                        out.push_str(&format!(
-                            "fx_serve_latency_ns_bucket{{tenant=\"{tenant}\",le=\"{}\"}} {cumulative}\n",
-                            1u64 << i
-                        ));
+                    let le = if i < HIST_FINITE {
+                        format!("{}", 1u64 << i)
                     } else {
-                        out.push_str(&format!(
-                            "fx_serve_latency_ns_bucket{{tenant=\"{tenant}\",le=\"+Inf\"}} {cumulative}\n"
-                        ));
-                    }
+                        "+Inf".to_string()
+                    };
+                    // OpenMetrics exemplar: the trace id of the most
+                    // recent traced sample in this bucket, so a p999
+                    // bucket links straight to its exemplar trace.
+                    let exemplar = match t.exemplars.get(i) {
+                        Some(&(tid, v)) if tid != 0 => {
+                            format!(" # {{trace_id=\"{tid:016x}\"}} {v}")
+                        }
+                        _ => String::new(),
+                    };
+                    out.push_str(&format!(
+                        "fx_serve_latency_ns_bucket{{tenant=\"{tenant}\",le=\"{le}\"}} {cumulative}{exemplar}\n"
+                    ));
                 }
                 out.push_str(&format!("fx_serve_latency_ns_sum{{tenant=\"{tenant}\"}} {}\n", t.latency_ns.sum));
                 out.push_str(&format!("fx_serve_latency_ns_count{{tenant=\"{tenant}\"}} {cumulative}\n"));
@@ -1174,6 +1282,10 @@ pub struct TenantTotals {
     /// Completion latency histogram in virtual nanoseconds; read SLO
     /// quantiles with [`HistogramSnapshot::quantile`].
     pub latency_ns: HistogramSnapshot,
+    /// Per-bucket `(trace id, observed latency)` exemplar of the most
+    /// recent traced sample; `(0, _)` = no exemplar. Same indexing as
+    /// `latency_ns.buckets`.
+    pub exemplars: Vec<(u64, u64)>,
 }
 
 impl TelemetrySnapshot {
@@ -1296,6 +1408,53 @@ mod tests {
         // Re-registration resets.
         let again = t.begin_tenants(&["interactive"]);
         assert_eq!(again[0].totals().arrived, 0);
+    }
+
+    #[test]
+    fn latency_buckets_carry_exemplars() {
+        let t = Telemetry::new();
+        let tenants = t.begin_tenants(&["gold"]);
+        tenants[0].on_complete(1_000_000); // untraced: no exemplar
+        tenants[0].on_complete_traced(3_000_000, 0xABCD); // traced
+        tenants[0].on_complete_traced(3_100_000, 0xEF01); // same bucket: wins
+        let om = t.render_openmetrics();
+        assert!(
+            om.contains("# {trace_id=\"000000000000ef01\"} 3100000"),
+            "most recent traced sample is the bucket exemplar: {om}"
+        );
+        assert!(!om.contains("abcd"), "overwritten exemplar must not linger");
+        // The exemplar rides the bucket the sample landed in, value intact.
+        let totals = tenants[0].totals();
+        let i = totals.latency_ns.buckets.iter().rposition(|&c| c > 0).unwrap();
+        assert_eq!(totals.exemplars[i], (0xEF01, 3_100_000));
+    }
+
+    #[test]
+    fn exemplar_ring_keeps_slowest_n() {
+        let mut cfg = TelemetryConfig::default();
+        cfg.exemplar_trace_capacity = 2;
+        let t = Telemetry::with_config(cfg);
+        t.begin_tenants(&["gold"]);
+        let mut rendered = 0usize;
+        let mut offer = |id: u64, lat: u64, rendered: &mut usize| {
+            t.offer_exemplar_trace(id, lat, || {
+                *rendered += 1;
+                format!("{{\"trace\":{id}}}")
+            });
+        };
+        offer(1, 100, &mut rendered);
+        offer(2, 300, &mut rendered);
+        offer(3, 50, &mut rendered); // faster than everything retained: dropped
+        offer(4, 200, &mut rendered); // evicts id 1
+        assert_eq!(rendered, 3, "render is lazy: dropped offers never render");
+        let ids: Vec<u64> = t.exemplar_traces().iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![2, 4], "slowest first");
+        assert_eq!(t.exemplar_trace(2).unwrap().json, "{\"trace\":2}");
+        assert!(t.exemplar_trace(1).is_none(), "evicted");
+        assert!(t.exemplar_trace(0).is_none());
+        // A new serving session clears the ring.
+        t.begin_tenants(&["gold"]);
+        assert!(t.exemplar_traces().is_empty());
     }
 
     #[test]

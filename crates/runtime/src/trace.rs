@@ -6,6 +6,7 @@
 //! (spacing between paired events) exactly the way the paper measures its
 //! stream-processing programs.
 
+use crate::critical::match_recvs_to_sends;
 use crate::span::{SpanKind, SpanLog};
 
 /// Per-processor communication-plan counters.
@@ -270,6 +271,86 @@ fn push_instant_events(out: &mut String, first: &mut bool, logs: &[EventLog]) {
     }
 }
 
+/// Flow (`"s"`/`"f"`) event pairs for every matched send/recv span pair,
+/// so Perfetto draws an arrow from each send slice to the receive it
+/// unblocked. The start binds at the send's end, the finish binds to the
+/// *enclosing* receive slice (`"bp":"e"`) at the receive's end. When
+/// `only_trace` is set, only pairs whose spans both carry that trace id
+/// are emitted (per-request exports). Pairs are sorted by receiver so
+/// flow ids are deterministic.
+fn push_flow_events(out: &mut String, first: &mut bool, spans: &[SpanLog], only_trace: Option<u64>) {
+    let mut pairs: Vec<((usize, usize), (usize, usize))> =
+        match_recvs_to_sends(spans).into_iter().collect();
+    pairs.sort_unstable();
+    for (flow_id, ((rp, ri), (sp, si))) in pairs.iter().enumerate() {
+        let recv = &spans[*rp].spans()[*ri];
+        let send = &spans[*sp].spans()[*si];
+        if let Some(t) = only_trace {
+            if send.trace != t || recv.trace != t {
+                continue;
+            }
+        }
+        push_record(
+            out,
+            first,
+            &format!(
+                "{{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                flow_id,
+                trace_us(send.end),
+                sp
+            ),
+        );
+        push_record(
+            out,
+            first,
+            &format!(
+                "{{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                flow_id,
+                trace_us(recv.end),
+                rp
+            ),
+        );
+    }
+}
+
+fn push_span_events(out: &mut String, first: &mut bool, spans: &[SpanLog], only_trace: Option<u64>) {
+    for (proc_id, log) in spans.iter().enumerate() {
+        for s in log.spans() {
+            if let Some(t) = only_trace {
+                if s.trace != t {
+                    continue;
+                }
+            }
+            let (cat, fallback) = match s.kind {
+                SpanKind::Compute => ("compute", "compute"),
+                SpanKind::Send => ("comm", "send"),
+                SpanKind::Recv => ("comm", "recv"),
+            };
+            let name = match &s.path {
+                Some(p) => escape(p),
+                None => fallback.to_string(),
+            };
+            let mut args = String::new();
+            if s.kind != SpanKind::Compute {
+                args = format!(",\"args\":{{\"peer\":{},\"tag\":{}}}", s.peer, s.tag);
+            }
+            push_record(
+                out,
+                first,
+                &format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
+                    name,
+                    cat,
+                    trace_us(s.start),
+                    trace_us(s.dur()),
+                    proc_id,
+                    args
+                ),
+            );
+        }
+    }
+}
+
 /// Serialize per-processor event logs as a Chrome-trace ("about:tracing"
 /// / Perfetto) JSON document: `"M"` metadata records naming the processor
 /// lanes, then one instant event per recorded mark, one row per
@@ -289,44 +370,34 @@ pub fn chrome_trace_json(logs: &[EventLog]) -> String {
 
 /// Serialize a profiled run as Chrome-trace JSON: lane metadata, complete
 /// duration (`"X"`) events for every [`SpanLog`] span — named by their
-/// task-region scope path, categorized compute/send/recv — plus the
-/// instant marks from the event logs. Open in Perfetto to see named
-/// processor lanes with nested region scopes and the pipeline overlap.
+/// task-region scope path, categorized compute/send/recv — plus flow
+/// (`"s"`/`"f"`) arrows from every matched send to the receive it
+/// unblocked, plus the instant marks from the event logs. Open in
+/// Perfetto to see named processor lanes with nested region scopes, the
+/// pipeline overlap, and message causality.
 pub fn chrome_trace_full_json(logs: &[EventLog], spans: &[SpanLog]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     push_lane_metadata(&mut out, &mut first, logs.len().max(spans.len()));
-    for (proc_id, log) in spans.iter().enumerate() {
-        for s in log.spans() {
-            let (cat, fallback) = match s.kind {
-                SpanKind::Compute => ("compute", "compute"),
-                SpanKind::Send => ("comm", "send"),
-                SpanKind::Recv => ("comm", "recv"),
-            };
-            let name = match &s.path {
-                Some(p) => escape(p),
-                None => fallback.to_string(),
-            };
-            let mut args = String::new();
-            if s.kind != SpanKind::Compute {
-                args = format!(",\"args\":{{\"peer\":{},\"tag\":{}}}", s.peer, s.tag);
-            }
-            push_record(
-                &mut out,
-                &mut first,
-                &format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
-                    name,
-                    cat,
-                    trace_us(s.start),
-                    trace_us(s.dur()),
-                    proc_id,
-                    args
-                ),
-            );
-        }
-    }
+    push_span_events(&mut out, &mut first, spans, None);
+    push_flow_events(&mut out, &mut first, spans, None);
     push_instant_events(&mut out, &mut first, logs);
+    out.push_str("]}");
+    out
+}
+
+/// Serialize the spans of *one* causal trace as Chrome-trace JSON: lane
+/// metadata, duration events for every span stamped with `trace_id`
+/// (across all processor lanes), and flow arrows for the matched
+/// send/recv pairs inside the trace. This is the per-request view: feed
+/// it the spans of a traced serve run and a request's trace id and it
+/// shows exactly where that request's latency went, hop by hop.
+pub fn chrome_trace_request_json(spans: &[SpanLog], trace_id: u64) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    push_lane_metadata(&mut out, &mut first, spans.len());
+    push_span_events(&mut out, &mut first, spans, Some(trace_id));
+    push_flow_events(&mut out, &mut first, spans, Some(trace_id));
     out.push_str("]}");
     out
 }
@@ -390,7 +461,7 @@ mod tests {
         let mut log = EventLog::default();
         log.record(0.001, "mark");
         let mut sl = SpanLog::default();
-        sl.push_compute(0.0, 0.001, Some(Arc::from("G1/assign2")));
+        sl.push_compute(0.0, 0.001, Some(Arc::from("G1/assign2")), 0);
         sl.push_msg(crate::span::Span {
             start: 0.001,
             end: 0.0015,
@@ -399,6 +470,7 @@ mod tests {
             peer: 1,
             tag: 7,
             arrival: 0.002,
+            trace: 0,
         });
         let json = chrome_trace_full_json(&[log], &[sl]);
         assert!(json.contains("\"ph\":\"X\""));
@@ -408,6 +480,62 @@ mod tests {
         assert!(json.contains("\"args\":{\"peer\":1,\"tag\":7}"));
         assert!(json.contains("\"ph\":\"i\""), "instant marks kept alongside spans");
         assert!(json.contains("\"name\":\"proc 0\""));
+    }
+
+    fn send_recv_pair(trace: u64) -> Vec<SpanLog> {
+        use crate::span::Span;
+        let mut sender = SpanLog::default();
+        sender.push_msg(Span {
+            start: 0.001,
+            end: 0.0015,
+            kind: SpanKind::Send,
+            path: None,
+            peer: 1,
+            tag: 7,
+            arrival: 0.002,
+            trace,
+        });
+        let mut receiver = SpanLog::default();
+        receiver.push_msg(Span {
+            start: 0.002,
+            end: 0.0025,
+            kind: SpanKind::Recv,
+            path: None,
+            peer: 0,
+            tag: 7,
+            arrival: 0.002,
+            trace,
+        });
+        vec![sender, receiver]
+    }
+
+    #[test]
+    fn chrome_trace_full_emits_flow_events_for_matched_pairs() {
+        let spans = send_recv_pair(0);
+        let json = chrome_trace_full_json(&[], &spans);
+        assert!(json.contains("\"ph\":\"s\""), "flow start missing: {json}");
+        assert!(json.contains("\"ph\":\"f\""), "flow finish missing: {json}");
+        assert!(json.contains("\"bp\":\"e\""), "finish must bind to enclosing slice");
+        // Start binds at the send's end on the sender lane; finish at the
+        // receive's end on the receiver lane.
+        assert!(json.contains("\"ph\":\"s\",\"id\":0,\"ts\":1500.000,\"pid\":0,\"tid\":0"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":0,\"ts\":2500.000,\"pid\":0,\"tid\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_request_filters_by_trace_id() {
+        use std::sync::Arc;
+        let mut spans = send_recv_pair(42);
+        // An unrelated compute span on the sender from a different trace.
+        spans[0].push_compute(0.003, 0.004, Some(Arc::from("other")), 7);
+        let json = chrome_trace_request_json(&spans, 42);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2, "only trace-42 spans: {json}");
+        assert!(!json.contains("\"name\":\"other\""));
+        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+        // Filtering for an absent trace yields lanes but no events.
+        let empty = chrome_trace_request_json(&spans, 999);
+        assert!(!empty.contains("\"ph\":\"X\""));
+        assert!(!empty.contains("\"ph\":\"s\""));
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod servable;
 mod server;
 mod trace;
 
-pub use report::{ServeReport, TenantReport};
+pub use report::{ComponentStats, RequestTrace, ServeReport, TenantReport};
 pub use servable::{AirshedServable, FftHistServable, Servable};
 pub use server::{ProcServe, Server};
 pub use trace::{poisson_trace, ServeRequest, TenantSpec};

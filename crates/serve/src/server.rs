@@ -5,10 +5,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use fx_core::{spmd, Cx, Machine};
+use fx_core::{request_trace_id, spmd, Cx, Machine};
 use fx_runtime::{Telemetry, TenantStats};
 
-use crate::report::{assemble, ServeReport};
+use crate::report::{assemble, RequestTrace, ServeReport};
 use crate::{Servable, ServeConfig, ServeRequest, ShedPolicy};
 
 /// What one processor brings back from a serve run.
@@ -21,6 +21,9 @@ pub struct ProcServe<T> {
     pub sheds: Vec<usize>,
     /// Serve-loop rounds this processor executed.
     pub rounds: u64,
+    /// Per-request latency decompositions for the completions above
+    /// (empty unless the run was traced).
+    pub traces: Vec<RequestTrace>,
 }
 
 /// A long-lived cluster object wrapping a compiled pipeline.
@@ -73,8 +76,14 @@ impl<S: Servable> Server<S> {
         let telemetry =
             self.machine.telemetry.clone().unwrap_or_else(|| Arc::new(Telemetry::new()));
         let tenants = telemetry.begin_tenants(tenant_names);
-        let machine = self.machine.clone().with_telemetry(telemetry.clone());
+        let mut machine = self.machine.clone().with_telemetry(telemetry.clone());
         let sim = machine.mode.is_simulated();
+        // Per-request attribution needs span logs: a traced simulated
+        // serve profiles implicitly, so FX_TRACE=1 alone yields full
+        // breakdowns (profiling never moves the virtual clock).
+        if sim && machine.tracing {
+            machine = machine.with_profiling(true);
+        }
         let cfg = self.cfg;
         let servable = &self.servable;
         let trace_arc: Arc<[ServeRequest]> = trace.into();
@@ -86,7 +95,17 @@ impl<S: Servable> Server<S> {
                 serve_real(cx, servable, &cfg, &trace_arc, &tenants)
             }
         });
-        assemble(rep, trace, tenant_names, &telemetry)
+        let report = assemble(rep, trace, tenant_names, &telemetry);
+        // Retain the slowest requests' per-request Chrome traces in the
+        // telemetry exemplar ring (served by `/trace/<id>`). Rendering
+        // is lazy: only ring entrants pay for JSON serialization.
+        for t in &report.request_traces {
+            let lat_ns = (t.latency().max(0.0) * 1e9).round() as u64;
+            telemetry.offer_exemplar_trace(t.trace_id, lat_ns, || {
+                fx_runtime::chrome_trace_request_json(&report.spans, t.trace_id)
+            });
+        }
+        report
     }
 }
 
@@ -140,11 +159,15 @@ fn account_completions<T>(
     got: &[fx_apps::util::ReqCompletion<T>],
     trace: &[ServeRequest],
     tenants: &[Arc<TenantStats>],
+    traced: bool,
 ) {
     for c in got {
         let r = &trace[c.req];
         let lat_ns = ((c.done - r.arrival).max(0.0) * 1e9).round() as u64;
-        tenants[r.tenant].on_complete(lat_ns);
+        // Traced runs attach the request's trace id as the bucket's
+        // OpenMetrics exemplar; id 0 records without one.
+        let tid = if traced { request_trace_id(c.req) } else { 0 };
+        tenants[r.tenant].on_complete_traced(lat_ns, tid);
     }
 }
 
@@ -163,11 +186,13 @@ fn serve_simulated<S: Servable>(
     tenants: &[Arc<TenantStats>],
 ) -> ProcServe<S::Output> {
     let account = cx.id() == 0;
+    let traced = cx.tracing() && cx.profiling();
     let mut queue: VecDeque<ServeRequest> = VecDeque::new();
     let mut next = 0usize;
     let mut completions = Vec::new();
     let mut sheds = Vec::new();
     let mut rounds = 0u64;
+    let mut traces = Vec::new();
 
     loop {
         rounds += 1;
@@ -196,11 +221,36 @@ fn serve_simulated<S: Servable>(
         }
         let k = cfg.batch_max.min(queue.len());
         let batch: Vec<ServeRequest> = queue.drain(..k).collect();
+        // Dispatch is now: admission admits only arrivals <= t, so every
+        // batch member's queue_wait = dispatch - arrival is >= 0. The span
+        // mark brackets the batch: everything the reporter's clock does
+        // between mark and a completion belongs to that request's service
+        // window.
+        let dispatch = cx.now();
+        let mark = cx.runtime().span_mark();
         let got = servable.run_batch(cx, &batch);
-        account_completions(&got, trace, tenants);
+        cx.clear_trace();
+        account_completions(&got, trace, tenants, traced);
+        if traced {
+            for c in &got {
+                let own = request_trace_id(c.req);
+                let breakdown = cx.runtime().spans().window_breakdown(mark, dispatch, c.done, own);
+                traces.push(RequestTrace {
+                    req: c.req,
+                    tenant: trace[c.req].tenant,
+                    trace_id: own,
+                    arrival: trace[c.req].arrival,
+                    dispatch,
+                    done: c.done,
+                    round: rounds,
+                    batch_size: batch.len(),
+                    breakdown,
+                });
+            }
+        }
         completions.extend(got);
     }
-    ProcServe { completions, sheds, rounds }
+    ProcServe { completions, sheds, rounds, traces }
 }
 
 /// Real-time serving: processor 0 is the frontend. It polls the wall
@@ -257,8 +307,9 @@ fn serve_real<S: Servable>(
         let Some(batch) = directive else { break };
         rounds += 1;
         let got = servable.run_batch(cx, &batch);
-        account_completions(&got, trace, tenants);
+        account_completions(&got, trace, tenants, cx.tracing());
         completions.extend(got);
     }
-    ProcServe { completions, sheds, rounds }
+    // Real-time mode has no span logs, so no per-request breakdowns.
+    ProcServe { completions, sheds, rounds, traces: Vec::new() }
 }

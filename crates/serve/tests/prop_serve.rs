@@ -42,16 +42,20 @@ proptest! {
         let shed = if drop_oldest { ShedPolicy::DropOldest } else { ShedPolicy::DropNewest };
         let serve_cfg = ServeConfig { queue_cap, batch_max, shed };
 
-        let run = |exec: Executor| {
+        let run = |exec: Executor, tracing: bool| {
             Server::new(
-                Machine::simulated(4, MachineModel::paragon()).with_executor(exec),
+                Machine::simulated(4, MachineModel::paragon())
+                    .with_executor(exec)
+                    .with_tracing(tracing),
                 FftHistServable { cfg, mapping },
             )
             .with_config(serve_cfg)
             .serve(&trace, &names)
         };
-        let a = run(Executor::Threaded);
-        let b = run(Executor::Pooled { workers: 2 });
+        let a = run(Executor::Threaded, false);
+        let b = run(Executor::Pooled { workers: 2 }, false);
+        let ta = run(Executor::Threaded, true);
+        let tb = run(Executor::Pooled { workers: 2 }, true);
 
         // Counter conservation and no lost requests, under any load.
         prop_assert!(a.conserved());
@@ -74,5 +78,33 @@ proptest! {
             prop_assert_eq!(x.done.to_bits(), y.done.to_bits());
         }
         prop_assert_eq!(&a.tenants, &b.tenants);
+
+        // Tracing is free on the virtual clock: same finish and
+        // completion times as the untraced run, on both executors.
+        for (traced, plain) in [(&ta, &a), (&tb, &b)] {
+            prop_assert_eq!(&traced.times, &plain.times);
+            prop_assert_eq!(traced.completions.len(), plain.completions.len());
+            for (x, y) in traced.completions.iter().zip(&plain.completions) {
+                prop_assert_eq!(x.done.to_bits(), y.done.to_bits());
+            }
+        }
+
+        // Per-request decompositions: one per completion, components
+        // summing exactly to end-to-end latency, on both executors.
+        for traced in [&ta, &tb] {
+            prop_assert_eq!(traced.request_traces.len(), traced.completions.len());
+            for t in &traced.request_traces {
+                let sum: f64 = t.components().iter().map(|(_, v)| *v).sum();
+                prop_assert!(
+                    (sum - t.latency()).abs() <= 1e-9 * t.latency().max(1e-9),
+                    "request {} components sum {} != latency {}",
+                    t.req, sum, t.latency()
+                );
+                for (name, v) in t.components() {
+                    prop_assert!(v >= 0.0, "negative {} on request {}", name, t.req);
+                }
+            }
+        }
+        prop_assert_eq!(&ta.request_traces, &tb.request_traces);
     }
 }

@@ -182,6 +182,105 @@ fn real_time_serving_survives_trace_gaps_longer_than_recv_timeout() {
 }
 
 #[test]
+fn traced_serve_decomposes_latency_exactly_and_is_vtime_free() {
+    let cfg = FftHistConfig::new(16, 1);
+    let tenants = [TenantSpec::new("gold", 50.0, 6), TenantSpec::new("bronze", 20.0, 3)];
+    let trace = poisson_trace(&tenants, 11);
+    let run = |tracing: bool| {
+        Server::new(
+            paragon(6).with_tracing(tracing),
+            FftHistServable { cfg, mapping: FftHistMapping::Pipeline([1, 4, 1]) },
+        )
+        .with_config(ServeConfig { queue_cap: 32, batch_max: 3, shed: ShedPolicy::DropNewest })
+        .serve(&trace, &["gold", "bronze"])
+    };
+    let traced = run(true);
+    let plain = run(false);
+
+    // Tracing must be free on the virtual clock: finish and completion
+    // times bit-identical with tracing on and off.
+    assert_eq!(traced.times, plain.times, "tracing must not move the virtual clock");
+    assert_eq!(traced.completions.len(), plain.completions.len());
+    for (x, y) in traced.completions.iter().zip(&plain.completions) {
+        assert_eq!(x.req, y.req);
+        assert_eq!(x.done.to_bits(), y.done.to_bits(), "completion vtimes bit-identical");
+    }
+    assert!(plain.request_traces.is_empty(), "untraced runs carry no request traces");
+
+    // One decomposition per completion, each summing exactly to its
+    // end-to-end latency (closed accounting: nothing unattributed).
+    assert_eq!(traced.request_traces.len(), traced.completions.len());
+    for t in &traced.request_traces {
+        assert!(t.trace_id != 0 && t.queue_wait() >= 0.0 && t.done >= t.dispatch);
+        let sum: f64 = t.components().iter().map(|(_, v)| *v).sum();
+        assert!(
+            (sum - t.latency()).abs() <= 1e-9 * t.latency().max(1e-9),
+            "components must sum to latency for request {}: {} vs {}",
+            t.req,
+            sum,
+            t.latency()
+        );
+        for (name, v) in t.components() {
+            assert!(v >= 0.0, "negative {name} component on request {}", t.req);
+        }
+    }
+
+    // The aggregate view: 7 components + latency, component means
+    // summing to the latency mean.
+    let rows = traced.request_breakdown();
+    assert_eq!(rows.len(), 8);
+    let comp_mean: f64 = rows[..7].iter().map(|r| r.mean).sum();
+    assert!((comp_mean - rows[7].mean).abs() <= 1e-9 * rows[7].mean.max(1e-9));
+    assert!(plain.request_breakdown().is_empty());
+
+    // Per-request Chrome export: spans of this request plus send→recv
+    // flow arrows ("s"/"f" phase events).
+    let some_req = traced.request_traces[0].req;
+    let json = traced.request_trace_json(some_req).expect("traced request exports JSON");
+    assert!(json.contains("\"ph\":\"X\""), "per-request trace has span events");
+    assert!(
+        json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""),
+        "pipeline request trace must carry flow events: {json}"
+    );
+    assert!(plain.request_trace_json(some_req).is_none());
+}
+
+#[test]
+fn traced_serve_feeds_exemplars_and_trace_endpoints() {
+    let cfg = FftHistConfig::new(16, 1);
+    let trace = poisson_trace(&[TenantSpec::new("gold", 60.0, 5)], 7);
+    let tele = std::sync::Arc::new(fx_runtime::Telemetry::new());
+    let server = Server::new(
+        paragon(4).with_telemetry(tele.clone()).with_tracing(true),
+        FftHistServable { cfg, mapping: FftHistMapping::DataParallel },
+    );
+    let rep = server.serve(&trace, &["gold"]);
+    assert_eq!(rep.completed(), 5);
+
+    // Latency buckets carry the trace id of their most recent sample.
+    let om = tele.render_openmetrics();
+    assert!(
+        om.contains("# {trace_id=\""),
+        "traced serve must attach OpenMetrics exemplars:\n{om}"
+    );
+
+    // The slowest-request ring retains renderable per-request traces,
+    // slowest first, and each is the same JSON the report exports.
+    let ring = tele.exemplar_traces();
+    assert!(!ring.is_empty(), "traced serve must retain exemplar traces");
+    for w in ring.windows(2) {
+        assert!(w[0].latency_ns >= w[1].latency_ns, "ring is sorted slowest-first");
+    }
+    let slowest = &ring[0];
+    let by_report: Option<&fx_serve::RequestTrace> =
+        rep.request_traces.iter().find(|t| t.trace_id == slowest.trace_id);
+    let t = by_report.expect("ring entries correspond to reported requests");
+    assert_eq!(slowest.latency_ns, (t.latency().max(0.0) * 1e9).round() as u64);
+    assert!(slowest.json.contains("\"ph\":\"X\""));
+    assert_eq!(tele.exemplar_trace(slowest.trace_id).map(|e| e.json), Some(slowest.json.clone()));
+}
+
+#[test]
 fn exporters_render_per_tenant_serve_metrics() {
     let cfg = FftHistConfig::new(16, 1);
     let trace =
